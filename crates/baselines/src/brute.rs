@@ -1,0 +1,66 @@
+//! Linear-scan baseline.
+
+use ddrs_rangetree::{Point, Rect};
+
+/// The trivial `O(n)`-per-query baseline: scan every point.
+///
+/// Useful both as the correctness oracle in tests and as the lower
+/// anchor in the query-time crossover experiment (B1): for very high
+/// selectivities the scan beats any tree.
+#[derive(Debug, Clone)]
+pub struct BruteForce<const D: usize> {
+    pts: Vec<Point<D>>,
+}
+
+impl<const D: usize> BruteForce<D> {
+    /// Wrap a point set.
+    pub fn new(pts: Vec<Point<D>>) -> Self {
+        BruteForce { pts }
+    }
+
+    /// Number of points in `q`.
+    pub fn count(&self, q: &Rect<D>) -> u64 {
+        self.pts.iter().filter(|p| q.contains(p)).count() as u64
+    }
+
+    /// Ids of the points in `q`, ascending.
+    pub fn report(&self, q: &Rect<D>) -> Vec<u32> {
+        let mut ids: Vec<u32> =
+            self.pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Sum of weights of the points in `q` (associative-function anchor).
+    pub fn sum_weights(&self, q: &Rect<D>) -> Option<u64> {
+        let mut any = false;
+        let mut s = 0;
+        for p in self.pts.iter().filter(|p| q.contains(p)) {
+            any = true;
+            s += p.weight;
+        }
+        any.then_some(s)
+    }
+
+    /// The point set.
+    pub fn points(&self) -> &[Point<D>] {
+        &self.pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_force_basics() {
+        let pts: Vec<Point<2>> =
+            (0..10).map(|i| Point::weighted([i, i], i as u32, i as u64)).collect();
+        let b = BruteForce::new(pts);
+        let q = Rect::new([2, 2], [5, 5]);
+        assert_eq!(b.count(&q), 4);
+        assert_eq!(b.report(&q), vec![2, 3, 4, 5]);
+        assert_eq!(b.sum_weights(&q), Some(14));
+        assert_eq!(b.sum_weights(&Rect::new([99, 99], [99, 99])), None);
+    }
+}

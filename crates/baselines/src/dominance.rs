@@ -1,0 +1,236 @@
+//! Weighted dominance counting — the paper's footnote on invertible
+//! functions.
+//!
+//! Footnote 1 of the paper: *"In the special case of associative
+//! functions with inverses this problem can be solved using weighted
+//! dominant counting."* When the aggregate lives in an abelian **group**
+//! (counting, weighted sums — anything with subtraction), an orthogonal
+//! range aggregate over a box decomposes by inclusion–exclusion into
+//! `2^d` *dominance* aggregates
+//! `Dom(c) = Σ { w(p) : p ≤ c componentwise }`, and dominance needs a far
+//! lighter structure than the full range tree: here a merge-sort tree
+//! over x with prefix-weight arrays per node (`O(n log n)` space,
+//! `O(log² n)` per corner), implemented for the classical d = 2 case.
+//!
+//! `max`-like semigroups have no inverses, which is exactly why the
+//! paper's general machinery (and ours) exists.
+
+use ddrs_rangetree::{Point, Rect};
+
+/// One merge-tree node: the y-ranks of the points in its x-span, sorted,
+/// with prefix weight sums (`pref[i]` = total weight of the first `i`).
+#[derive(Debug, Clone, Default)]
+struct Level {
+    ys: Vec<u32>,
+    pref: Vec<u64>,
+    pref_cnt: Vec<u64>,
+}
+
+/// Static 2-d weighted dominance structure supporting box count/sum via
+/// inclusion–exclusion.
+#[derive(Debug, Clone)]
+pub struct WeightedDominance2d {
+    m: usize,
+    xs: Vec<(i64, u32)>,
+    ys_sorted: Vec<(i64, u32)>,
+    nodes: Vec<Level>,
+}
+
+impl WeightedDominance2d {
+    /// Build from a point set (`O(n log n)`).
+    pub fn build(pts: &[Point<2>]) -> Self {
+        assert!(!pts.is_empty());
+        let n = pts.len();
+        let m = n.next_power_of_two();
+        let mut xs: Vec<(i64, u32)> = pts.iter().map(|p| (p.coords[0], p.id)).collect();
+        xs.sort_unstable();
+        let mut ys_sorted: Vec<(i64, u32)> = pts.iter().map(|p| (p.coords[1], p.id)).collect();
+        ys_sorted.sort_unstable();
+        let mut yrank = std::collections::HashMap::with_capacity(n);
+        for (r, &(_, id)) in ys_sorted.iter().enumerate() {
+            yrank.insert(id, r as u32);
+        }
+        let weight: std::collections::HashMap<u32, u64> =
+            pts.iter().map(|p| (p.id, p.weight)).collect();
+
+        let mut raw: Vec<Vec<(u32, u64)>> = vec![Vec::new(); 2 * m];
+        for (i, &(_, id)) in xs.iter().enumerate() {
+            raw[m + i] = vec![(yrank[&id], weight[&id])];
+        }
+        for v in (1..m).rev() {
+            let (a, b) = (&raw[2 * v], &raw[2 * v + 1]);
+            let mut merged = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i].0 <= b[j].0 {
+                    merged.push(a[i]);
+                    i += 1;
+                } else {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&a[i..]);
+            merged.extend_from_slice(&b[j..]);
+            raw[v] = merged;
+        }
+        let nodes: Vec<Level> = raw
+            .into_iter()
+            .map(|list| {
+                let mut pref = Vec::with_capacity(list.len() + 1);
+                let mut pref_cnt = Vec::with_capacity(list.len() + 1);
+                let (mut acc, mut cnt) = (0u64, 0u64);
+                pref.push(0);
+                pref_cnt.push(0);
+                for &(_, w) in &list {
+                    acc += w;
+                    cnt += 1;
+                    pref.push(acc);
+                    pref_cnt.push(cnt);
+                }
+                Level { ys: list.into_iter().map(|(y, _)| y).collect(), pref, pref_cnt }
+            })
+            .collect();
+        WeightedDominance2d { m, xs, ys_sorted, nodes }
+    }
+
+    /// `(count, weight sum)` of points dominated by the corner
+    /// `(x_count, y_count)` given as *exclusive* rank bounds (the first
+    /// `x_count` x-ranks and y-ranks `< y_count`).
+    fn dom(&self, x_count: usize, y_count: u32) -> (u64, u64) {
+        // Walk the canonical prefix decomposition of [0, x_count).
+        let (mut cnt, mut sum) = (0u64, 0u64);
+        let mut v = 1usize;
+        let (mut lo, mut hi) = (0usize, self.m);
+        while x_count > lo && v < 2 * self.m {
+            if x_count >= hi {
+                let node = &self.nodes[v];
+                let k = node.ys.partition_point(|&y| y < y_count);
+                cnt += node.pref_cnt[k];
+                sum += node.pref[k];
+                break;
+            }
+            let mid = (lo + hi) / 2;
+            if x_count <= mid {
+                v *= 2;
+                hi = mid;
+            } else {
+                // Take the whole left child, continue right.
+                let l = &self.nodes[2 * v];
+                let k = l.ys.partition_point(|&y| y < y_count);
+                cnt += l.pref_cnt[k];
+                sum += l.pref[k];
+                v = 2 * v + 1;
+                lo = mid;
+            }
+        }
+        (cnt, sum)
+    }
+
+    /// Translate inclusive coordinate bounds to exclusive rank corners.
+    fn corners(&self, q: &Rect<2>) -> Option<(usize, usize, u32, u32)> {
+        if q.is_empty() {
+            return None;
+        }
+        let xlo = self.xs.partition_point(|&(c, _)| c < q.lo[0]);
+        let xhi = self.xs.partition_point(|&(c, _)| c <= q.hi[0]);
+        let ylo = self.ys_sorted.partition_point(|&(c, _)| c < q.lo[1]) as u32;
+        let yhi = self.ys_sorted.partition_point(|&(c, _)| c <= q.hi[1]) as u32;
+        Some((xlo, xhi, ylo, yhi))
+    }
+
+    /// Number of points in the box, by 4-corner inclusion–exclusion.
+    pub fn count(&self, q: &Rect<2>) -> u64 {
+        let Some((xlo, xhi, ylo, yhi)) = self.corners(q) else { return 0 };
+        let a = self.dom(xhi, yhi).0;
+        let b = self.dom(xlo, yhi).0;
+        let c = self.dom(xhi, ylo).0;
+        let d = self.dom(xlo, ylo).0;
+        a + d - b - c
+    }
+
+    /// Weight sum over the box (`None` when empty), by inclusion–exclusion
+    /// — the invertible-aggregate fast path of the footnote.
+    pub fn sum_weights(&self, q: &Rect<2>) -> Option<u64> {
+        let (xlo, xhi, ylo, yhi) = self.corners(q)?;
+        let (ca, sa) = self.dom(xhi, yhi);
+        let (cb, sb) = self.dom(xlo, yhi);
+        let (cc, sc) = self.dom(xhi, ylo);
+        let (cd, sd) = self.dom(xlo, ylo);
+        ((ca + cd) > (cb + cc)).then(|| sa + sd - sb - sc)
+    }
+
+    /// Structure size in stored entries (one log factor over n).
+    pub fn size_entries(&self) -> u64 {
+        self.nodes.iter().map(|n| n.ys.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: u32) -> Vec<Point<2>> {
+        (0..n)
+            .map(|i| {
+                Point::weighted(
+                    [((i * 193) % 97) as i64, ((i * 71) % 89) as i64],
+                    i,
+                    (i % 7 + 1) as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        let pts = pseudo(400);
+        let d = WeightedDominance2d::build(&pts);
+        for s in 0..25i64 {
+            let q = Rect::new([s * 3, s * 2], [s * 3 + 30, s * 2 + 25]);
+            let want = pts.iter().filter(|p| q.contains(p)).count() as u64;
+            assert_eq!(d.count(&q), want, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn sums_match_brute_force() {
+        let pts = pseudo(300);
+        let d = WeightedDominance2d::build(&pts);
+        for s in 0..20i64 {
+            let q = Rect::new([s * 4, s], [s * 4 + 20, s + 40]);
+            let want: u64 =
+                pts.iter().filter(|p| q.contains(p)).map(|p| p.weight).sum();
+            let got = d.sum_weights(&q).unwrap_or(0);
+            assert_eq!(got, want, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let pts = pseudo(64);
+        let d = WeightedDominance2d::build(&pts);
+        assert_eq!(d.count(&Rect::new([1000, 1000], [2000, 2000])), 0);
+        assert_eq!(d.sum_weights(&Rect::new([1000, 1000], [2000, 2000])), None);
+        assert_eq!(d.count(&Rect::new([5, 5], [4, 4])), 0);
+        // Whole plane.
+        let q = Rect::new([i64::MIN, i64::MIN], [i64::MAX, i64::MAX]);
+        assert_eq!(d.count(&q), 64);
+    }
+
+    #[test]
+    fn duplicates_and_boundaries() {
+        let pts: Vec<Point<2>> =
+            (0..48).map(|i| Point::weighted([(i / 12) as i64, (i % 4) as i64], i, 2)).collect();
+        let d = WeightedDominance2d::build(&pts);
+        assert_eq!(d.count(&Rect::new([1, 1], [2, 2])), 2 * 12 / 2);
+        assert_eq!(d.sum_weights(&Rect::new([0, 0], [3, 3])), Some(96));
+    }
+
+    #[test]
+    fn space_is_one_log_factor() {
+        let d = WeightedDominance2d::build(&pseudo(1024));
+        let s = d.size_entries();
+        assert!((10 * 1024..=13 * 1024).contains(&s), "entries {s}");
+    }
+}

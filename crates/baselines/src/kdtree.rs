@@ -1,0 +1,209 @@
+//! The k-D tree baseline.
+//!
+//! "Multidimensional binary trees, commonly known as k-D trees, are an
+//! optimal space solution requiring `O(dn)` space but having a
+//! discouraging worst-case search performance of `O(d·n^(1-1/d))`" —
+//! paper, Section 1. Median-split construction, cycling the split
+//! dimension by depth; small leaf buckets.
+
+use ddrs_rangetree::{Point, Rect};
+
+const LEAF_BUCKET: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node<const D: usize> {
+    Leaf {
+        /// Indices into the point arena.
+        lo: u32,
+        hi: u32,
+    },
+    Split {
+        dim: u8,
+        /// Points with coordinate `<= value` go left.
+        value: i64,
+        left: u32,
+        right: u32,
+        /// Bounding box of the subtree, for subtree pruning/engulfing.
+        bb_lo: [i64; D],
+        bb_hi: [i64; D],
+    },
+}
+
+/// A static k-d tree over a point set.
+#[derive(Debug, Clone)]
+pub struct KdTree<const D: usize> {
+    nodes: Vec<Node<D>>,
+    pts: Vec<Point<D>>,
+    root: u32,
+}
+
+impl<const D: usize> KdTree<D> {
+    /// Build by recursive median split (`O(n log n)`).
+    pub fn build(mut pts: Vec<Point<D>>) -> Self {
+        assert!(!pts.is_empty(), "KdTree::build requires points");
+        let mut nodes = Vec::new();
+        let n = pts.len();
+        let root = Self::build_rec(&mut nodes, &mut pts, 0, n, 0);
+        KdTree { nodes, pts, root }
+    }
+
+    fn build_rec(
+        nodes: &mut Vec<Node<D>>,
+        pts: &mut [Point<D>],
+        lo: usize,
+        hi: usize,
+        depth: usize,
+    ) -> u32 {
+        let len = hi - lo;
+        if len <= LEAF_BUCKET {
+            nodes.push(Node::Leaf { lo: lo as u32, hi: hi as u32 });
+            return (nodes.len() - 1) as u32;
+        }
+        let dim = depth % D;
+        let mid = lo + len / 2;
+        pts[lo..hi].select_nth_unstable_by_key(mid - lo, |p| (p.coords[dim], p.id));
+        let value = pts[mid].coords[dim];
+        // Everything at lo..=mid goes left (ties settled by position after
+        // selection), keeping the split balanced even with duplicates.
+        let left = Self::build_rec(nodes, pts, lo, mid + 1, depth + 1);
+        let right = Self::build_rec(nodes, pts, mid + 1, hi, depth + 1);
+        let mut bb_lo = [i64::MAX; D];
+        let mut bb_hi = [i64::MIN; D];
+        for p in &pts[lo..hi] {
+            for j in 0..D {
+                bb_lo[j] = bb_lo[j].min(p.coords[j]);
+                bb_hi[j] = bb_hi[j].max(p.coords[j]);
+            }
+        }
+        nodes.push(Node::Split { dim: dim as u8, value, left, right, bb_lo, bb_hi });
+        (nodes.len() - 1) as u32
+    }
+
+    /// Number of points in `q`.
+    pub fn count(&self, q: &Rect<D>) -> u64 {
+        let mut acc = 0;
+        self.walk(self.root, q, &mut |p| {
+            let _ = p;
+            acc += 1;
+        });
+        acc
+    }
+
+    /// Ids of the points in `q`, ascending.
+    pub fn report(&self, q: &Rect<D>) -> Vec<u32> {
+        let mut ids = Vec::new();
+        self.walk(self.root, q, &mut |p| ids.push(p.id));
+        ids.sort_unstable();
+        ids
+    }
+
+    fn walk(&self, node: u32, q: &Rect<D>, emit: &mut impl FnMut(&Point<D>)) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { lo, hi } => {
+                for p in &self.pts[*lo as usize..*hi as usize] {
+                    if q.contains(p) {
+                        emit(p);
+                    }
+                }
+            }
+            Node::Split { dim, value, left, right, bb_lo, bb_hi, .. } => {
+                // Prune: bounding box disjoint from the query.
+                for j in 0..D {
+                    if bb_hi[j] < q.lo[j] || bb_lo[j] > q.hi[j] {
+                        return;
+                    }
+                }
+                // Engulfed: emit everything below without further tests.
+                if (0..D).all(|j| q.lo[j] <= bb_lo[j] && bb_hi[j] <= q.hi[j]) {
+                    self.emit_all(node, emit);
+                    return;
+                }
+                let j = *dim as usize;
+                if q.lo[j] <= *value {
+                    self.walk(*left, q, emit);
+                }
+                // Duplicates of `value` can sit in the right subtree (ties
+                // are position-split), so descend on >= rather than >.
+                if q.hi[j] >= *value {
+                    self.walk(*right, q, emit);
+                }
+            }
+        }
+    }
+
+    fn emit_all(&self, node: u32, emit: &mut impl FnMut(&Point<D>)) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { lo, hi } => {
+                for p in &self.pts[*lo as usize..*hi as usize] {
+                    emit(p);
+                }
+            }
+            Node::Split { left, right, .. } => {
+                self.emit_all(*left, emit);
+                self.emit_all(*right, emit);
+            }
+        }
+    }
+
+    /// Arena size in nodes (the `O(dn)` space claim).
+    pub fn size_nodes(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: u32) -> Vec<Point<2>> {
+        (0..n)
+            .map(|i| Point::new([((i * 193) % 97) as i64, ((i * 71) % 89) as i64], i))
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let pts = pseudo(500);
+        let t = KdTree::build(pts.clone());
+        for s in 0..15i64 {
+            let q = Rect::new([s * 5, s * 3], [s * 5 + 30, s * 3 + 40]);
+            let mut want: Vec<u32> =
+                pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+            want.sort_unstable();
+            assert_eq!(t.report(&q), want, "query {q:?}");
+            assert_eq!(t.count(&q), want.len() as u64);
+        }
+    }
+
+    #[test]
+    fn duplicates_all_found() {
+        let pts: Vec<Point<2>> = (0..64).map(|i| Point::new([1, 2], i)).collect();
+        let t = KdTree::build(pts);
+        let q = Rect::new([1, 2], [1, 2]);
+        assert_eq!(t.count(&q), 64);
+        assert_eq!(t.count(&Rect::new([0, 0], [0, 0])), 0);
+    }
+
+    #[test]
+    fn three_dims() {
+        let pts: Vec<Point<3>> = (0..300u32)
+            .map(|i| {
+                Point::new(
+                    [((i * 7) % 31) as i64, ((i * 13) % 29) as i64, ((i * 3) % 23) as i64],
+                    i,
+                )
+            })
+            .collect();
+        let t = KdTree::build(pts.clone());
+        let q = Rect::new([5, 5, 5], [20, 20, 15]);
+        let want = pts.iter().filter(|p| q.contains(p)).count() as u64;
+        assert_eq!(t.count(&q), want);
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let t = KdTree::build(pseudo(1000));
+        // ~2n/LEAF_BUCKET nodes.
+        assert!(t.size_nodes() < 1000);
+    }
+}

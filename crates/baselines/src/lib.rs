@@ -1,0 +1,33 @@
+//! # ddrs-baselines — comparison structures for range search
+//!
+//! The introduction of the paper positions the range tree against the
+//! alternatives; this crate implements each of them so the comparative
+//! claims can be measured rather than cited:
+//!
+//! * [`KdTree`] — multidimensional binary trees ("k-D trees"): optimal
+//!   `O(dn)` space but a "discouraging worst case search performance of
+//!   `O(d·n^(1-1/d))`";
+//! * [`LayeredRangeTree2d`] — the layered range tree (fractional
+//!   cascading), which "saves a factor of log n in the search time" over
+//!   the plain range tree (implemented for d = 2, its classical form);
+//! * [`BruteForce`] — the linear scan floor;
+//! * [`WeightedDominance2d`] — the paper's footnote: aggregates with
+//!   *inverses* (count, weighted sum) reduce to weighted dominance
+//!   counting by inclusion–exclusion, at one log factor of space;
+//! * [`ReplicatedRangeTree`] — the parallelization the paper explicitly
+//!   rejects: a full copy of the range tree on every processor, answering
+//!   each processor's query share locally. Fast, but its
+//!   `O(p · n log^(d-1) n)` total memory "is in most situations quite
+//!   unrealistic" — experiment B2 measures exactly that blow-up.
+
+mod brute;
+mod dominance;
+mod kdtree;
+mod layered;
+mod replicated;
+
+pub use brute::BruteForce;
+pub use dominance::WeightedDominance2d;
+pub use kdtree::KdTree;
+pub use layered::LayeredRangeTree2d;
+pub use replicated::ReplicatedRangeTree;

@@ -1,0 +1,141 @@
+//! The full-replication parallel range tree the paper argues against.
+//!
+//! Section 1: a parallel range tree for SIMD hypercubes "was based on
+//! copying of the data structure onto each processor, therefore requiring
+//! `O(p·n log^d n)` memory space in total, which is in most situations
+//! quite unrealistic". And Section 1 again, on the obvious alternative to
+//! the hat/forest design: "the straightforward strategy of making
+//! multiple copies of T, and using one copy for each n/p group of
+//! queries, does not work … it would not only take too much time to
+//! create the p copies but there is not enough space to store all of
+//! these copies".
+//!
+//! This module implements that rejected design honestly — `p` physical
+//! copies, one thread per copy, each answering an `m/p` query share — so
+//! experiment B2 can measure both its (good) query latency and its
+//! (disqualifying) memory footprint.
+
+use ddrs_rangetree::{Point, Rect, SeqRangeTree};
+
+/// `p` full copies of a sequential range tree, queried in parallel with
+/// one OS thread per copy.
+pub struct ReplicatedRangeTree<const D: usize> {
+    copies: Vec<SeqRangeTree<D>>,
+}
+
+impl<const D: usize> ReplicatedRangeTree<D> {
+    /// Build `p` copies (this really builds the structure `p` times — the
+    /// cost is part of what the experiment measures).
+    pub fn build(p: usize, pts: &[Point<D>]) -> Result<Self, ddrs_rangetree::RankError> {
+        assert!(p >= 1);
+        let mut copies = Vec::with_capacity(p);
+        for _ in 0..p {
+            copies.push(SeqRangeTree::build(pts)?);
+        }
+        Ok(ReplicatedRangeTree { copies })
+    }
+
+    /// Number of copies.
+    pub fn p(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Count a query batch: queries are dealt round-robin to the copies,
+    /// each processed by its own thread.
+    pub fn count_batch(&self, queries: &[Rect<D>]) -> Vec<u64> {
+        let p = self.copies.len();
+        let mut out = vec![0u64; queries.len()];
+        let chunks: Vec<(usize, &SeqRangeTree<D>)> =
+            self.copies.iter().enumerate().collect();
+        let results: Vec<Vec<(usize, u64)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(rank, tree)| {
+                    s.spawn(move || {
+                        queries
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| i % p == rank)
+                            .map(|(i, q)| (i, tree.count(q)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        for (i, c) in results.into_iter().flatten() {
+            out[i] = c;
+        }
+        out
+    }
+
+    /// Report a query batch (round-robin deal, one thread per copy).
+    pub fn report_batch(&self, queries: &[Rect<D>]) -> Vec<Vec<u32>> {
+        let p = self.copies.len();
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        let results: Vec<Vec<(usize, Vec<u32>)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .copies
+                .iter()
+                .enumerate()
+                .map(|(rank, tree)| {
+                    s.spawn(move || {
+                        queries
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| i % p == rank)
+                            .map(|(i, q)| (i, tree.report(q)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        for (i, ids) in results.into_iter().flatten() {
+            out[i] = ids;
+        }
+        out
+    }
+
+    /// Total memory across copies, in nodes — the `O(p · n log^(d-1) n)`
+    /// blow-up of the rejected design.
+    pub fn total_nodes(&self) -> u64 {
+        self.copies.iter().map(SeqRangeTree::size_nodes).sum()
+    }
+
+    /// Memory of a single copy, in nodes.
+    pub fn nodes_per_copy(&self) -> u64 {
+        self.copies.first().map(SeqRangeTree::size_nodes).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicated_equals_sequential() {
+        let pts: Vec<Point<2>> = (0..128u32)
+            .map(|i| Point::new([((i * 37) % 64) as i64, ((i * 11) % 32) as i64], i))
+            .collect();
+        let seq = SeqRangeTree::build(&pts).unwrap();
+        let rep = ReplicatedRangeTree::build(4, &pts).unwrap();
+        let queries: Vec<Rect<2>> = (0..10)
+            .map(|s| Rect::new([s as i64 * 3, s as i64], [s as i64 * 3 + 20, s as i64 + 12]))
+            .collect();
+        let counts = rep.count_batch(&queries);
+        let reports = rep.report_batch(&queries);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(counts[i], seq.count(q));
+            assert_eq!(reports[i], seq.report(q));
+        }
+    }
+
+    #[test]
+    fn memory_blow_up_is_p_fold() {
+        let pts: Vec<Point<2>> =
+            (0..64u32).map(|i| Point::new([i as i64, (i * 7 % 64) as i64], i)).collect();
+        let rep = ReplicatedRangeTree::build(4, &pts).unwrap();
+        assert_eq!(rep.total_nodes(), 4 * rep.nodes_per_copy());
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion bench for experiments B1/B2: sequential structure shoot-out
+//! and the replication strawman.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ddrs_baselines::{BruteForce, KdTree, LayeredRangeTree2d, ReplicatedRangeTree};
+use ddrs_bench::{selectivity_queries, uniform_points};
+use ddrs_cgm::Machine;
+use ddrs_rangetree::{DistRangeTree, Point, SeqRangeTree};
+
+fn bench_baselines(c: &mut Criterion) {
+    let n = 1usize << 14;
+    let pts: Vec<Point<2>> = uniform_points(6, n);
+    let range = SeqRangeTree::build(&pts).unwrap();
+    let kd = KdTree::build(pts.clone());
+    let layered = LayeredRangeTree2d::build(&pts);
+    let brute = BruteForce::new(pts.clone());
+
+    let mut g = c.benchmark_group("baselines_count");
+    for &sel in &[0.0001f64, 0.01, 0.3] {
+        let queries = selectivity_queries(&pts, 17, sel, 100);
+        g.bench_with_input(BenchmarkId::new("range_tree", sel), &queries, |b, qs| {
+            b.iter(|| qs.iter().map(|q| range.count(q)).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("layered", sel), &queries, |b, qs| {
+            b.iter(|| qs.iter().map(|q| layered.count(q)).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("kd_tree", sel), &queries, |b, qs| {
+            b.iter(|| qs.iter().map(|q| kd.count(q)).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("brute", sel), &queries, |b, qs| {
+            b.iter(|| qs.iter().map(|q| brute.count(q)).sum::<u64>())
+        });
+    }
+    g.finish();
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let n = 1usize << 12;
+    let p = 4;
+    let pts: Vec<Point<2>> = uniform_points(8, n);
+    let queries = selectivity_queries(&pts, 19, 0.001, 1024);
+    let machine = Machine::new(p).unwrap();
+    let dist = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+    let repl = ReplicatedRangeTree::build(p, &pts).unwrap();
+
+    let mut g = c.benchmark_group("replication_strawman");
+    g.sample_size(10);
+    g.bench_function("distributed_query", |b| {
+        b.iter(|| dist.count_batch(&machine, &queries))
+    });
+    g.bench_function("replicated_query", |b| b.iter(|| repl.count_batch(&queries)));
+    g.bench_function("distributed_build", |b| {
+        b.iter(|| DistRangeTree::<2>::build(&machine, &pts).unwrap())
+    });
+    g.bench_function("replicated_build", |b| {
+        b.iter(|| ReplicatedRangeTree::build(p, &pts).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines, bench_replication);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for the CGM collective primitives (the substrate the
+//! theorems charge as `T_c(s, p)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ddrs_cgm::Machine;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+    for &p in &[2usize, 8] {
+        let machine = Machine::new(p).unwrap();
+        let per = 1usize << 14;
+        g.bench_with_input(BenchmarkId::new("sort", p), &p, |b, _| {
+            b.iter(|| {
+                machine.run(|ctx| {
+                    let data: Vec<u64> = (0..per)
+                        .map(|i| ((i * 2654435761 + ctx.rank() * 97) % 1_000_003) as u64)
+                        .collect();
+                    ctx.sort_by_key(data, |x| *x).len()
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("all_to_all", p), &p, |b, _| {
+            b.iter(|| {
+                machine.run(|ctx| {
+                    let out: Vec<Vec<u64>> =
+                        (0..ctx.p()).map(|d| vec![d as u64; per / ctx.p()]).collect();
+                    ctx.all_to_all(out).len()
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("all_gather", p), &p, |b, _| {
+            b.iter(|| {
+                machine.run(|ctx| ctx.all_gather(vec![ctx.rank() as u64; 1024]).len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("load_balance_hotspot", p), &p, |b, _| {
+            b.iter(|| {
+                machine.run(|ctx| {
+                    let owned: Vec<(u64, u64)> =
+                        if ctx.rank() == 0 { vec![(0, 42)] } else { Vec::new() };
+                    let items: Vec<(u64, u64)> = vec![(0u64, 7u64); per / ctx.p()];
+                    ctx.load_balance(&owned, items).items.len()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for experiment T2: construction time, sequential vs
+//! distributed over machine sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ddrs_bench::uniform_points;
+use ddrs_cgm::Machine;
+use ddrs_rangetree::{DistRangeTree, Point, SeqRangeTree};
+
+fn bench_construct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construct");
+    g.sample_size(10);
+    for &n in &[1usize << 12, 1 << 14] {
+        let pts: Vec<Point<2>> = uniform_points(1, n);
+        g.bench_with_input(BenchmarkId::new("seq", n), &pts, |b, pts| {
+            b.iter(|| SeqRangeTree::build(pts).unwrap());
+        });
+        for &p in &[2usize, 8] {
+            let machine = Machine::new(p).unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(format!("dist_p{p}"), n),
+                &pts,
+                |b, pts| {
+                    b.iter(|| DistRangeTree::<2>::build(&machine, pts).unwrap());
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_construct_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construct_3d");
+    g.sample_size(10);
+    let n = 1usize << 10;
+    let pts: Vec<Point<3>> = uniform_points(2, n);
+    g.bench_function("seq", |b| b.iter(|| SeqRangeTree::build(&pts).unwrap()));
+    let machine = Machine::new(4).unwrap();
+    g.bench_function("dist_p4", |b| {
+        b.iter(|| DistRangeTree::<3>::build(&machine, &pts).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construct, bench_construct_3d);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for experiment T4: associative-function and report
+//! modes over selectivity (Theorem 4, including the k/p term).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ddrs_bench::{selectivity_queries, uniform_points};
+use ddrs_cgm::Machine;
+use ddrs_rangetree::{DistRangeTree, Point, Sum};
+
+fn bench_modes(c: &mut Criterion) {
+    let n = 1usize << 13;
+    let p = 8;
+    let pts: Vec<Point<2>> = uniform_points(5, n);
+    let machine = Machine::new(p).unwrap();
+    let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+
+    let mut g = c.benchmark_group("modes");
+    g.sample_size(10);
+    for &sel in &[0.0001f64, 0.01, 0.1] {
+        let queries = selectivity_queries(&pts, 11, sel, 1024);
+        g.bench_with_input(BenchmarkId::new("aggregate_sum", sel), &queries, |b, qs| {
+            b.iter(|| tree.aggregate_batch(&machine, Sum, qs));
+        });
+        g.bench_with_input(BenchmarkId::new("report", sel), &queries, |b, qs| {
+            b.iter(|| tree.report_batch_raw(&machine, qs));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for experiment T3: batched count queries over machine
+//! sizes (Theorem 3 / Corollary 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ddrs_bench::{selectivity_queries, uniform_points};
+use ddrs_cgm::Machine;
+use ddrs_rangetree::{DistRangeTree, Point, SeqRangeTree};
+
+fn bench_search(c: &mut Criterion) {
+    let n = 1usize << 13;
+    let pts: Vec<Point<2>> = uniform_points(3, n);
+    let queries = selectivity_queries(&pts, 7, 0.002, n / 4);
+
+    let mut g = c.benchmark_group("search_count_batch");
+    g.sample_size(10);
+    let seq = SeqRangeTree::build(&pts).unwrap();
+    g.bench_function("seq", |b| {
+        b.iter(|| queries.iter().map(|q| seq.count(q)).sum::<u64>())
+    });
+    for &p in &[1usize, 2, 4, 8] {
+        let machine = Machine::new(p).unwrap();
+        let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+        g.bench_with_input(BenchmarkId::new("dist", p), &p, |b, _| {
+            b.iter(|| tree.count_batch(&machine, &queries));
+        });
+    }
+    g.finish();
+}
+
+fn bench_search_skew(c: &mut Criterion) {
+    // Hot-spot batch: exercises the congestion-copy path end to end.
+    let n = 1usize << 13;
+    let pts: Vec<Point<2>> = uniform_points(4, n);
+    let queries = ddrs_bench::hotspot_queries(&pts, 9, n / 4);
+    let mut g = c.benchmark_group("search_hotspot");
+    g.sample_size(10);
+    for &p in &[2usize, 8] {
+        let machine = Machine::new(p).unwrap();
+        let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+        g.bench_with_input(BenchmarkId::new("dist", p), &p, |b, _| {
+            b.iter(|| tree.count_batch(&machine, &queries));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search, bench_search_skew);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Personalized all-to-all and all-to-all broadcast (allgather).
+
+use crate::ctx::Ctx;
+use crate::payload::Payload;
+
+impl Ctx<'_> {
+    /// Personalized all-to-all: deliver `out[d]` to processor `d`; returns
+    /// the received buckets indexed by source rank.
+    pub fn all_to_all<T: Payload>(&mut self, out: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        self.exchange("all_to_all", out)
+    }
+
+    /// Personalized all-to-all, flattening the received buckets in source
+    /// rank order (the common case: a globally ordered redistribution).
+    pub fn all_to_all_flat<T: Payload>(&mut self, out: Vec<Vec<T>>) -> Vec<T> {
+        self.all_to_all(out).into_iter().flatten().collect()
+    }
+
+    /// Route each `(dest, item)` pair to its destination processor.
+    pub fn route<T: Payload>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
+        let mut out: Vec<Vec<T>> = (0..self.p()).map(|_| Vec::new()).collect();
+        for (dest, item) in items {
+            assert!(dest < self.p(), "route: destination {dest} out of range");
+            out[dest].push(item);
+        }
+        self.all_to_all_flat(out)
+    }
+
+    /// All-to-all broadcast (allgather): every processor contributes `data`;
+    /// everyone receives all contributions, indexed by source rank.
+    pub fn all_gather<T: Payload + Clone>(&mut self, data: Vec<T>) -> Vec<Vec<T>> {
+        let p = self.p();
+        let out: Vec<Vec<T>> = (0..p).map(|_| data.clone()).collect();
+        self.exchange("all_gather", out)
+    }
+
+    /// All-gather of a single value per processor.
+    pub fn all_gather_one<T: Payload + Clone>(&mut self, item: T) -> Vec<T> {
+        self.all_gather(vec![item]).into_iter().map(|mut v| v.remove(0)).collect()
+    }
+
+    /// One-to-all broadcast from `root`. Non-root processors pass `None`.
+    pub fn broadcast<T: Payload + Clone>(&mut self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
+        assert!(root < self.p(), "broadcast: root {root} out of range");
+        debug_assert_eq!(self.rank() == root, data.is_some(), "exactly the root provides data");
+        let p = self.p();
+        let out: Vec<Vec<T>> = if let Some(data) = data {
+            (0..p).map(|_| data.clone()).collect()
+        } else {
+            (0..p).map(|_| Vec::new()).collect()
+        };
+        let mut inbound = self.exchange("broadcast", out);
+        std::mem::take(&mut inbound[root])
+    }
+
+    /// All-to-one gather to `root`: returns `Some(buckets by source)` on the
+    /// root and `None` elsewhere.
+    pub fn gather<T: Payload>(&mut self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        assert!(root < self.p(), "gather: root {root} out of range");
+        let p = self.p();
+        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        out[root] = data;
+        let inbound = self.exchange("gather", out);
+        (self.rank() == root).then_some(inbound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Machine;
+
+    #[test]
+    fn all_to_all_transposes() {
+        let m = Machine::new(4).unwrap();
+        let results = m.run(|ctx| {
+            let out: Vec<Vec<u64>> =
+                (0..4).map(|d| vec![(ctx.rank() * 4 + d) as u64]).collect();
+            ctx.all_to_all(out)
+        });
+        for (me, inbound) in results.iter().enumerate() {
+            for (src, b) in inbound.iter().enumerate() {
+                assert_eq!(b, &vec![(src * 4 + me) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn route_delivers_to_destination() {
+        let m = Machine::new(4).unwrap();
+        let results = m.run(|ctx| {
+            // Everyone sends their rank to processor 2.
+            ctx.route(vec![(2usize, ctx.rank() as u64)])
+        });
+        assert_eq!(results[2], vec![0, 1, 2, 3]);
+        assert!(results[0].is_empty() && results[1].is_empty() && results[3].is_empty());
+    }
+
+    #[test]
+    fn all_gather_replicates() {
+        let m = Machine::new(4).unwrap();
+        let results = m.run(|ctx| ctx.all_gather_one(ctx.rank() as u64));
+        for r in results {
+            assert_eq!(r, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let m = Machine::new(8).unwrap();
+        let results = m.run(|ctx| {
+            let data = (ctx.rank() == 3).then(|| vec![9u64, 8, 7]);
+            ctx.broadcast(3, data)
+        });
+        for r in results {
+            assert_eq!(r, vec![9, 8, 7]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_at_root() {
+        let m = Machine::new(4).unwrap();
+        let results = m.run(|ctx| ctx.gather(1, vec![ctx.rank() as u64; ctx.rank()]));
+        for (me, r) in results.iter().enumerate() {
+            if me == 1 {
+                let r = r.as_ref().unwrap();
+                for (src, b) in r.iter().enumerate() {
+                    assert_eq!(b, &vec![src as u64; src]);
+                }
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn h_relation_metering_counts_remote_words_only() {
+        let m = Machine::new(2).unwrap();
+        m.run(|ctx| {
+            // Each sends 3 words to the other, 5 to itself.
+            let mut out = vec![vec![0u64; 3], vec![0u64; 3]];
+            out[ctx.rank()] = vec![0u64; 5];
+            ctx.all_to_all(out);
+        });
+        let stats = m.take_stats();
+        assert_eq!(stats.supersteps(), 1);
+        assert_eq!(stats.rounds[0].max_sent_words, 3);
+        assert_eq!(stats.rounds[0].max_recv_words, 3);
+        assert_eq!(stats.rounds[0].total_words, 6);
+    }
+}

@@ -1,0 +1,23 @@
+//! The standard CGM collective operations.
+//!
+//! The paper's Model section fixes this exact vocabulary: *segmented
+//! broadcast, segmented gather, all-to-all broadcast, personalized
+//! all-to-all broadcast, partial sum and sort*, each realisable in a
+//! constant number of h-relations (via a constant number of sorts if the
+//! machine lacks them in hardware). The distributed range-tree algorithms
+//! use them as black boxes, exactly as the paper does.
+//!
+//! Each collective here is implemented over [`Ctx::exchange`] (the
+//! personalized all-to-all) and therefore costs O(1) supersteps by
+//! construction; the per-superstep h-relation sizes are metered and
+//! verified by the experiment harness rather than assumed.
+//!
+//! [`Ctx::exchange`]: crate::Ctx::exchange
+
+mod alltoall;
+mod balance;
+mod scan;
+mod segmented;
+mod sort;
+
+pub use balance::BalanceOutcome;

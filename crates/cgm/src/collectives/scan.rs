@@ -1,0 +1,107 @@
+//! Partial sums (prefix scans) and reductions.
+//!
+//! The paper's "Partial sum" collective. Implemented by all-gathering the
+//! per-processor summaries (`p` words) and folding locally — one superstep,
+//! h = O(p) ≤ O(s/p) under the standing assumption `s/p ≥ p`.
+
+use crate::ctx::Ctx;
+use crate::payload::Payload;
+
+impl Ctx<'_> {
+    /// Sum of `v` over all processors, available everywhere.
+    pub fn all_reduce_sum(&mut self, v: u64) -> u64 {
+        self.all_gather_one(v).into_iter().sum()
+    }
+
+    /// Maximum of `v` over all processors, available everywhere.
+    pub fn all_reduce_max(&mut self, v: u64) -> u64 {
+        self.all_gather_one(v).into_iter().max().unwrap_or(0)
+    }
+
+    /// Exclusive prefix sum over processor ranks: the sum of `v` on all
+    /// processors with rank strictly below this one.
+    pub fn exclusive_scan_sum(&mut self, v: u64) -> u64 {
+        let all = self.all_gather_one(v);
+        all[..self.rank()].iter().sum()
+    }
+
+    /// Exclusive prefix sum returning `(prefix, total)` in one superstep.
+    pub fn exclusive_scan_sum_total(&mut self, v: u64) -> (u64, u64) {
+        let all = self.all_gather_one(v);
+        let prefix = all[..self.rank()].iter().sum();
+        let total = all.iter().sum();
+        (prefix, total)
+    }
+
+    /// Generic all-reduce with a user fold over per-processor contributions
+    /// (applied in rank order on every processor, so non-commutative folds
+    /// are still deterministic).
+    pub fn all_reduce<T, F>(&mut self, v: T, fold: F) -> T
+    where
+        T: Payload + Clone,
+        F: Fn(T, T) -> T,
+    {
+        let mut all = self.all_gather_one(v).into_iter();
+        let first = all.next().expect("p >= 1");
+        all.fold(first, fold)
+    }
+
+    /// Element-local prefix sums for a distributed sequence: returns, for
+    /// each local element weight, the *global* exclusive prefix sum of all
+    /// weights before it (in rank-then-local order), plus the global total.
+    pub fn global_prefix_sums(&mut self, weights: &[u64]) -> (Vec<u64>, u64) {
+        let local_total: u64 = weights.iter().sum();
+        let (offset, total) = self.exclusive_scan_sum_total(local_total);
+        let mut acc = offset;
+        let prefixes = weights
+            .iter()
+            .map(|w| {
+                let here = acc;
+                acc += w;
+                here
+            })
+            .collect();
+        (prefixes, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Machine;
+
+    #[test]
+    fn reductions() {
+        let m = Machine::new(8).unwrap();
+        let sums = m.run(|ctx| ctx.all_reduce_sum(ctx.rank() as u64));
+        assert!(sums.iter().all(|&s| s == 28));
+        let maxes = m.run(|ctx| ctx.all_reduce_max(ctx.rank() as u64 * 3));
+        assert!(maxes.iter().all(|&x| x == 21));
+    }
+
+    #[test]
+    fn exclusive_scan() {
+        let m = Machine::new(4).unwrap();
+        let pre = m.run(|ctx| ctx.exclusive_scan_sum((ctx.rank() + 1) as u64));
+        assert_eq!(pre, vec![0, 1, 3, 6]);
+        let both = m.run(|ctx| ctx.exclusive_scan_sum_total((ctx.rank() + 1) as u64));
+        assert_eq!(both, vec![(0, 10), (1, 10), (3, 10), (6, 10)]);
+    }
+
+    #[test]
+    fn generic_all_reduce_is_rank_ordered() {
+        let m = Machine::new(4).unwrap();
+        let cat = m.run(|ctx| ctx.all_reduce(ctx.rank().to_string(), |a, b| a + &b));
+        assert!(cat.iter().all(|s| s == "0123"));
+    }
+
+    #[test]
+    fn global_prefix_sums_span_processors() {
+        let m = Machine::new(2).unwrap();
+        let out = m.run(|ctx| {
+            let w = if ctx.rank() == 0 { vec![2, 3] } else { vec![5, 1] };
+            ctx.global_prefix_sums(&w)
+        });
+        assert_eq!(out[0], (vec![0, 2], 11));
+        assert_eq!(out[1], (vec![5, 10], 11));
+    }
+}

@@ -1,0 +1,189 @@
+//! Segmented broadcast / gather and segmented partial sums.
+//!
+//! *Segmented broadcast* delivers one item to every processor in a
+//! contiguous rank range — Algorithm Report uses it to spread a query's
+//! reporting work over the processors `[dest(q), dest(q) + ⌈w(q)/(W/p)⌉)`.
+//! *Segmented gather* is the inverse. The *segmented partial sum* folds a
+//! semigroup over runs sharing a key in a globally sorted distributed
+//! sequence — Algorithm AssociativeFunction's final step.
+
+use std::ops::Range;
+
+use crate::ctx::Ctx;
+use crate::payload::Payload;
+
+impl Ctx<'_> {
+    /// Deliver a copy of each item to every processor in its rank range.
+    /// Received items are ordered by (source rank, local order).
+    pub fn segmented_broadcast<T: Payload + Clone>(
+        &mut self,
+        items: Vec<(T, Range<usize>)>,
+    ) -> Vec<T> {
+        let p = self.p();
+        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        for (item, range) in items {
+            assert!(range.end <= p, "segmented_broadcast: range {range:?} exceeds p={p}");
+            for dst in range {
+                out[dst].push(item.clone());
+            }
+        }
+        self.exchange("segmented_broadcast", out).into_iter().flatten().collect()
+    }
+
+    /// Send each `(item, dest)` to one destination (the inverse of
+    /// segmented broadcast; a thin personalization wrapper kept for parity
+    /// with the paper's collective vocabulary).
+    pub fn segmented_gather<T: Payload>(&mut self, items: Vec<(T, usize)>) -> Vec<T> {
+        self.route(items.into_iter().map(|(t, d)| (d, t)).collect())
+    }
+
+    /// Segmented fold over a *globally sorted by `seg`* distributed
+    /// sequence: for every distinct segment id, folds all its values with
+    /// `comb` and returns the per-segment results on the processor that
+    /// holds the segment's first element. Two supersteps (boundary
+    /// exchange).
+    ///
+    /// Each processor passes its local `(seg, value)` runs; the fold is
+    /// applied left-to-right in global order, so `comb` need not be
+    /// commutative, only associative.
+    pub fn segmented_fold<V, F>(&mut self, local: Vec<(u64, V)>, comb: F) -> Vec<(u64, V)>
+    where
+        V: Payload + Clone,
+        F: Fn(V, V) -> V,
+    {
+        debug_assert!(local.windows(2).all(|w| w[0].0 <= w[1].0), "input must be sorted by seg");
+        // Fold local runs.
+        let mut runs: Vec<(u64, V)> = Vec::new();
+        for (seg, v) in local {
+            match runs.last_mut() {
+                Some((s, acc)) if *s == seg => *acc = comb(acc.clone(), v),
+                _ => runs.push((seg, v)),
+            }
+        }
+        // A processor's first run may continue the previous processor's last
+        // run. Ship every *boundary-adjacent* run summary to the processor
+        // holding the segment head. To find the owner we gather the first
+        // and last segment ids of every processor.
+        let first_last: Vec<(u64, u64, bool)> = self.all_gather_one(match (runs.first(), runs.last()) {
+            (Some(f), Some(l)) => (f.0, l.0, true),
+            _ => (0, 0, false),
+        });
+        // The owner of segment s = the lowest rank whose range contains s
+        // and that actually starts the segment (i.e. its predecessor's last
+        // id differs, or it is the first non-empty processor with that id).
+        let owner_of = |seg: u64| -> usize {
+            let mut owner = None;
+            for (r, &(f, l, nonempty)) in first_last.iter().enumerate() {
+                if !nonempty {
+                    continue;
+                }
+                if f <= seg && seg <= l {
+                    owner = Some(r);
+                    break;
+                }
+            }
+            owner.expect("segment must exist on some processor")
+        };
+        let me = self.rank();
+        let mut outgoing: Vec<(u64, V, usize)> = Vec::new(); // (seg, partial, dest)
+        let mut keep: Vec<(u64, V)> = Vec::new();
+        for (seg, v) in runs {
+            let owner = owner_of(seg);
+            if owner == me {
+                keep.push((seg, v));
+            } else {
+                outgoing.push((seg, v, owner));
+            }
+        }
+        let inbound: Vec<(u64, V, u64)> = self.route(
+            outgoing
+                .into_iter()
+                .map(|(seg, v, dest)| (dest, (seg, v, me as u64)))
+                .collect(),
+        );
+        // Merge inbound partials into kept runs. Inbound arrives in source
+        // rank order; all sources are higher ranks than us (their runs
+        // continue ours), so folding in arrival order preserves global
+        // left-to-right order.
+        for (seg, v, _src) in inbound {
+            match keep.iter_mut().find(|(s, _)| *s == seg) {
+                Some((_, acc)) => *acc = comb(acc.clone(), v),
+                // A segment entirely owned by later ranks can be routed here
+                // only if `owner_of` picked us; then we must keep it.
+                None => keep.push((seg, v)),
+            }
+        }
+        keep.sort_by_key(|(s, _)| *s);
+        keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Machine;
+
+    #[test]
+    fn segmented_broadcast_ranges() {
+        let m = Machine::new(4).unwrap();
+        let outs = m.run(|ctx| {
+            let items = if ctx.rank() == 0 {
+                vec![(100u64, 0..3), (200u64, 2..4)]
+            } else {
+                Vec::new()
+            };
+            ctx.segmented_broadcast(items)
+        });
+        assert_eq!(outs[0], vec![100]);
+        assert_eq!(outs[1], vec![100]);
+        assert_eq!(outs[2], vec![100, 200]);
+        assert_eq!(outs[3], vec![200]);
+    }
+
+    #[test]
+    fn segmented_gather_routes() {
+        let m = Machine::new(4).unwrap();
+        let outs = m.run(|ctx| ctx.segmented_gather(vec![(ctx.rank() as u64, 0usize)]));
+        assert_eq!(outs[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn segmented_fold_within_one_processor() {
+        let m = Machine::new(2).unwrap();
+        let outs = m.run(|ctx| {
+            let local: Vec<(u64, u64)> = if ctx.rank() == 0 {
+                vec![(1, 10), (1, 5), (2, 7)]
+            } else {
+                vec![(3, 1), (3, 1)]
+            };
+            ctx.segmented_fold(local, |a, b| a + b)
+        });
+        assert_eq!(outs[0], vec![(1, 15), (2, 7)]);
+        assert_eq!(outs[1], vec![(3, 2)]);
+    }
+
+    #[test]
+    fn segmented_fold_across_boundary() {
+        let m = Machine::new(4).unwrap();
+        let outs = m.run(|ctx| {
+            // Segment 7 spans all processors: 1 + 2 + 3 + 4.
+            let local = vec![(7u64, (ctx.rank() + 1) as u64)];
+            ctx.segmented_fold(local, |a, b| a + b)
+        });
+        assert_eq!(outs[0], vec![(7, 10)]);
+        assert!(outs[1].is_empty() && outs[2].is_empty() && outs[3].is_empty());
+    }
+
+    #[test]
+    fn segmented_fold_noncommutative_order() {
+        let m = Machine::new(2).unwrap();
+        let outs = m.run(|ctx| {
+            let local: Vec<(u64, String)> = if ctx.rank() == 0 {
+                vec![(1, "a".into()), (1, "b".into())]
+            } else {
+                vec![(1, "c".into())]
+            };
+            ctx.segmented_fold(local, |a, b| a + &b)
+        });
+        assert_eq!(outs[0], vec![(1, "abc".to_string())]);
+    }
+}

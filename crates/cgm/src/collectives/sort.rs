@@ -1,0 +1,238 @@
+//! Global sort and order-preserving rebalance.
+//!
+//! The paper uses parallel sort "as a black box" (Goodrich's
+//! communication-efficient BSP sort in the theory; deterministic *regular
+//! sample sort* here, which has the same O(1)-round structure when
+//! `n/p ≥ p`): local sort → regular samples → splitters → bucket exchange →
+//! local merge. The result is globally sorted by key across processor
+//! ranks. `rebalance` then evens out bucket skew while preserving global
+//! order, which the construction algorithm needs to cut exact `n/p` groups.
+
+use crate::ctx::Ctx;
+use crate::payload::Payload;
+
+impl Ctx<'_> {
+    /// Globally sort `data` by `key`. After the call, concatenating the
+    /// returned vectors over ranks 0..p yields the sorted global sequence.
+    /// Per-processor counts may be uneven (bounded skew); use
+    /// [`sort_balanced_by_key`](Ctx::sort_balanced_by_key) when exact
+    /// balance is required.
+    ///
+    /// Ties are broken by `(source rank, local position)`, making the
+    /// result deterministic and the sort stable with respect to the global
+    /// input order.
+    pub fn sort_by_key<T, K, KF>(&mut self, data: Vec<T>, key: KF) -> Vec<T>
+    where
+        T: Payload,
+        K: Ord + Clone + Payload,
+        KF: Fn(&T) -> K,
+    {
+        let p = self.p();
+        let me = self.rank();
+
+        // Decorate with (key, src, pos) for a stable, deterministic order.
+        let mut decorated: Vec<(K, u64, T)> = data
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let k = key(&t);
+                (k, ((me as u64) << 32) | i as u64, t)
+            })
+            .collect();
+        decorated.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        if p == 1 {
+            return decorated.into_iter().map(|(_, _, t)| t).collect();
+        }
+
+        // Regular sampling: p samples at evenly spaced positions.
+        let n_local = decorated.len();
+        let samples: Vec<(K, u64)> = (1..=p)
+            .filter_map(|j| {
+                if n_local == 0 {
+                    None
+                } else {
+                    let idx = (j * n_local / p).min(n_local - 1);
+                    Some((decorated[idx].0.clone(), decorated[idx].1))
+                }
+            })
+            .collect();
+        let gathered: Vec<(K, u64)> = self.all_gather(samples).into_iter().flatten().collect();
+        let mut all_samples = gathered;
+        all_samples.sort();
+
+        // p-1 splitters at regular positions in the sample.
+        let splitters: Vec<(K, u64)> = if all_samples.is_empty() {
+            Vec::new()
+        } else {
+            (1..p)
+                .map(|i| {
+                    let idx = (i * all_samples.len() / p).min(all_samples.len() - 1);
+                    all_samples[idx].clone()
+                })
+                .collect()
+        };
+
+        // Partition the local sorted run by the splitters.
+        let mut buckets: Vec<Vec<(K, u64, T)>> = (0..p).map(|_| Vec::new()).collect();
+        if splitters.is_empty() {
+            buckets[0] = decorated;
+        } else {
+            let mut rest = decorated;
+            // Walk splitters from the last to the first, splitting off tails.
+            for b in (0..p - 1).rev() {
+                let cut = rest.partition_point(|(k, tie, _)| {
+                    (k.clone(), *tie) < (splitters[b].0.clone(), splitters[b].1)
+                });
+                let tail = rest.split_off(cut);
+                buckets[b + 1] = tail;
+            }
+            buckets[0] = rest;
+        }
+
+        let inbound = self.exchange("sort", buckets);
+        // Each inbound run is sorted; merge by full re-sort of the
+        // decorated keys (simple and O((n/p) log(n/p)) local work).
+        let mut merged: Vec<(K, u64, T)> = inbound.into_iter().flatten().collect();
+        merged.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        merged.into_iter().map(|(_, _, t)| t).collect()
+    }
+
+    /// Globally sort by key, then redistribute so every processor holds an
+    /// even share (sizes differ by at most one, earlier ranks larger),
+    /// preserving the global order.
+    pub fn sort_balanced_by_key<T, K, KF>(&mut self, data: Vec<T>, key: KF) -> Vec<T>
+    where
+        T: Payload,
+        K: Ord + Clone + Payload,
+        KF: Fn(&T) -> K,
+    {
+        let sorted = self.sort_by_key(data, key);
+        self.rebalance(sorted)
+    }
+
+    /// Redistribute a globally ordered distributed sequence so that counts
+    /// are even (first `total % p` ranks hold one extra), preserving order.
+    /// One superstep.
+    pub fn rebalance<T: Payload>(&mut self, data: Vec<T>) -> Vec<T> {
+        let p = self.p();
+        let (offset, total) = self.exclusive_scan_sum_total(data.len() as u64);
+        let base = total / p as u64;
+        let extra = (total % p as u64) as usize;
+        // Global index ranges per destination rank.
+        let start_of = |r: usize| -> u64 {
+            let r64 = r as u64;
+            base * r64 + (r.min(extra)) as u64
+        };
+        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        let mut dest = 0usize;
+        for (i, item) in data.into_iter().enumerate() {
+            let g = offset + i as u64;
+            while dest + 1 < p && g >= start_of(dest + 1) {
+                dest += 1;
+            }
+            out[dest].push(item);
+        }
+        self.exchange("rebalance", out).into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Machine;
+
+    fn check_global_sort(p: usize, per_proc: usize, gen: impl Fn(usize, usize) -> u64 + Sync + Copy) {
+        let m = Machine::new(p).unwrap();
+        let outs = m.run(|ctx| {
+            let data: Vec<u64> = (0..per_proc).map(|i| gen(ctx.rank(), i)).collect();
+            ctx.sort_by_key(data, |x| *x)
+        });
+        let flat: Vec<u64> = outs.iter().flatten().copied().collect();
+        let mut expected: Vec<u64> =
+            (0..p).flat_map(|r| (0..per_proc).map(move |i| gen(r, i))).collect();
+        expected.sort();
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn sort_random_like() {
+        check_global_sort(4, 100, |r, i| ((r * 1_000_003 + i * 7919) % 1231) as u64);
+    }
+
+    #[test]
+    fn sort_reverse_sorted() {
+        check_global_sort(8, 64, |r, i| (1_000_000 - (r * 64 + i)) as u64);
+    }
+
+    #[test]
+    fn sort_heavy_duplicates() {
+        check_global_sort(4, 128, |r, i| ((r + i) % 3) as u64);
+    }
+
+    #[test]
+    fn sort_single_processor() {
+        check_global_sort(1, 50, |_, i| (97 * i % 53) as u64);
+    }
+
+    #[test]
+    fn sort_empty_inputs() {
+        let m = Machine::new(4).unwrap();
+        let outs = m.run(|ctx| ctx.sort_by_key(Vec::<u64>::new(), |x| *x));
+        assert!(outs.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn sort_skewed_input_sizes() {
+        let m = Machine::new(4).unwrap();
+        let outs = m.run(|ctx| {
+            let n = if ctx.rank() == 0 { 400 } else { 1 };
+            let data: Vec<u64> = (0..n).map(|i| ((i * 37 + ctx.rank()) % 101) as u64).collect();
+            ctx.sort_by_key(data, |x| *x)
+        });
+        let flat: Vec<u64> = outs.iter().flatten().copied().collect();
+        assert_eq!(flat.len(), 403);
+        assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn balanced_sort_even_counts() {
+        let m = Machine::new(4).unwrap();
+        let outs = m.run(|ctx| {
+            // All data on rank 0, all equal keys: worst case for sample sort.
+            let data: Vec<u64> = if ctx.rank() == 0 { vec![5; 103] } else { Vec::new() };
+            ctx.sort_balanced_by_key(data, |x| *x)
+        });
+        let counts: Vec<usize> = outs.iter().map(Vec::len).collect();
+        assert_eq!(counts, vec![26, 26, 26, 25]);
+    }
+
+    #[test]
+    fn rebalance_preserves_order() {
+        let m = Machine::new(4).unwrap();
+        let outs = m.run(|ctx| {
+            // Globally ordered sequence living entirely on rank 2.
+            let data: Vec<u64> =
+                if ctx.rank() == 2 { (0..97).collect() } else { Vec::new() };
+            ctx.rebalance(data)
+        });
+        let flat: Vec<u64> = outs.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..97).collect::<Vec<u64>>());
+        let counts: Vec<usize> = outs.iter().map(Vec::len).collect();
+        assert_eq!(counts, vec![25, 24, 24, 24]);
+    }
+
+    #[test]
+    fn sort_is_stable_on_ties() {
+        let m = Machine::new(2).unwrap();
+        // Items carry (key, payload); equal keys must keep (rank, pos) order.
+        let outs = m.run(|ctx| {
+            let data: Vec<(u64, u64)> =
+                (0..10).map(|i| (0u64, (ctx.rank() as u64) * 100 + i)).collect();
+            ctx.sort_by_key(data, |x| x.0)
+        });
+        let flat: Vec<u64> = outs.iter().flatten().map(|x| x.1).collect();
+        let expected: Vec<u64> =
+            (0..2).flat_map(|r| (0..10).map(move |i| (r * 100 + i) as u64)).collect();
+        assert_eq!(flat, expected);
+    }
+}

@@ -1,0 +1,84 @@
+//! Per-processor execution context.
+
+use std::sync::Arc;
+
+use crate::mailbox::Fabric;
+use crate::payload::{slice_words, Payload};
+use crate::stats::StatsCollector;
+
+/// Handle given to each simulated processor inside [`Machine::run`].
+///
+/// All communication flows through the collective methods (defined here and
+/// in [`crate::collectives`]); each collective is one superstep and is
+/// metered as one h-relation.
+///
+/// [`Machine::run`]: crate::Machine::run
+pub struct Ctx<'a> {
+    rank: usize,
+    p: usize,
+    fabric: &'a Fabric,
+    collector: Arc<StatsCollector>,
+    round: usize,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(
+        rank: usize,
+        p: usize,
+        fabric: &'a Fabric,
+        collector: Arc<StatsCollector>,
+    ) -> Self {
+        Ctx { rank, p, fabric, collector, round: 0 }
+    }
+
+    /// This processor's rank in `0..p`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Pure barrier synchronisation (no data movement, not counted as a
+    /// communication round).
+    pub fn barrier(&mut self) {
+        self.fabric.sync();
+    }
+
+    /// The fundamental superstep: deliver `out[d]` to processor `d`, return
+    /// what everyone sent to this processor, indexed by source rank.
+    ///
+    /// This is the paper's *personalized all-to-all broadcast*; every other
+    /// collective is built on it. Counted as one h-relation.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != p`.
+    pub fn exchange<T: Payload>(&mut self, label: &'static str, out: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(out.len(), self.p, "exchange requires one bucket per destination");
+        let sent: u64 = out
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != self.rank)
+            .map(|(_, b)| slice_words(b))
+            .sum();
+        for (dst, bucket) in out.into_iter().enumerate() {
+            self.fabric.deposit(self.rank, dst, bucket);
+        }
+        self.fabric.sync();
+        let inbound = self.fabric.drain::<T>(self.rank, self.p);
+        let recv: u64 = inbound
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| *s != self.rank)
+            .map(|(_, b)| slice_words(b))
+            .sum();
+        self.collector.record(self.round, label, sent, recv);
+        self.round += 1;
+        self.fabric.sync();
+        inbound
+    }
+}

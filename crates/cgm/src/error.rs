@@ -1,0 +1,27 @@
+use std::fmt;
+
+/// Errors arising from machine configuration or collective misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CgmError {
+    /// The processor count must be a power of two (the hat of the
+    /// distributed range tree has an integral `log p` levels).
+    ProcessorCountNotPowerOfTwo(usize),
+    /// The processor count must be at least 1.
+    NoProcessors,
+    /// An input violated a precondition of a collective or algorithm.
+    Precondition(String),
+}
+
+impl fmt::Display for CgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CgmError::ProcessorCountNotPowerOfTwo(p) => {
+                write!(f, "processor count {p} is not a power of two")
+            }
+            CgmError::NoProcessors => write!(f, "processor count must be at least 1"),
+            CgmError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CgmError {}

@@ -1,0 +1,137 @@
+//! The simulated multicomputer.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ctx::Ctx;
+use crate::error::CgmError;
+use crate::mailbox::Fabric;
+use crate::stats::{RunStats, StatsCollector};
+
+/// A `CGM(s, p)` machine: `p` processors with private memory, executing
+/// SPMD programs as alternating local computation and collective
+/// communication supersteps.
+///
+/// The processor count must be a power of two: the hat of the distributed
+/// range tree consists of the top `log p` levels of each constituent
+/// segment tree, so `log p` must be integral (the paper makes the same
+/// assumption implicitly by writing `log n - log p`).
+///
+/// Each [`run`](Machine::run) call spawns `p` OS threads; the closure is the
+/// *program text* executed by every processor (distinguished by
+/// [`Ctx::rank`]). Collective statistics accumulate across runs until
+/// [`take_stats`](Machine::take_stats) is called.
+pub struct Machine {
+    p: usize,
+    stats: Mutex<RunStats>,
+}
+
+impl Machine {
+    /// Create a machine with `p` processors.
+    pub fn new(p: usize) -> Result<Self, CgmError> {
+        if p == 0 {
+            return Err(CgmError::NoProcessors);
+        }
+        if !p.is_power_of_two() {
+            return Err(CgmError::ProcessorCountNotPowerOfTwo(p));
+        }
+        Ok(Machine { p, stats: Mutex::new(RunStats::default()) })
+    }
+
+    /// Number of processors.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Execute an SPMD program on all `p` processors and return the
+    /// per-processor results in rank order.
+    ///
+    /// The closure must be *superstep-aligned*: every processor must call
+    /// the same sequence of collectives (the usual SPMD contract; violations
+    /// are detected as mailbox type mismatches or deadlocks).
+    pub fn run<F, R>(&self, program: F) -> Vec<R>
+    where
+        F: Fn(&mut Ctx<'_>) -> R + Sync,
+        R: Send,
+    {
+        let fabric = Fabric::new(self.p);
+        let collector = Arc::new(StatsCollector::new());
+
+        let mut results: Vec<Option<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.p)
+                .map(|rank| {
+                    let fabric = &fabric;
+                    let collector = Arc::clone(&collector);
+                    let program = &program;
+                    s.spawn(move || {
+                        let mut ctx = Ctx::new(rank, self.p, fabric, collector);
+                        program(&mut ctx)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| Some(h.join().expect("simulated processor panicked")))
+                .collect()
+        });
+
+        let collector =
+            Arc::try_unwrap(collector).unwrap_or_else(|_| panic!("collector still shared"));
+        {
+            let mut stats = self.stats.lock();
+            stats.rounds.extend(collector.into_rounds());
+            stats.runs += 1;
+        }
+
+        results.iter_mut().map(|r| r.take().expect("missing result")).collect()
+    }
+
+    /// Snapshot the accumulated statistics without clearing them.
+    pub fn stats(&self) -> RunStats {
+        self.stats.lock().clone()
+    }
+
+    /// Take and reset the accumulated statistics.
+    pub fn take_stats(&self) -> RunStats {
+        std::mem::take(&mut *self.stats.lock())
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine").field("p", &self.p).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_processor_counts() {
+        assert!(matches!(Machine::new(0), Err(CgmError::NoProcessors)));
+        assert!(matches!(Machine::new(3), Err(CgmError::ProcessorCountNotPowerOfTwo(3))));
+        assert!(Machine::new(1).is_ok());
+        assert!(Machine::new(16).is_ok());
+    }
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let m = Machine::new(8).unwrap();
+        let out = m.run(|ctx| ctx.rank() * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let m = Machine::new(2).unwrap();
+        m.run(|ctx| ctx.all_reduce_sum(1));
+        let s1 = m.stats();
+        assert!(s1.supersteps() >= 1);
+        m.run(|ctx| ctx.all_reduce_sum(1));
+        let s2 = m.take_stats();
+        assert_eq!(s2.supersteps(), 2 * s1.supersteps());
+        assert_eq!(m.stats().supersteps(), 0);
+    }
+}

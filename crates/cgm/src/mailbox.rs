@@ -1,0 +1,89 @@
+//! Type-erased per-processor mailboxes.
+//!
+//! Every collective is realised as one *exchange*: each processor deposits a
+//! typed message for each destination, all processors synchronise on a
+//! barrier, and each processor drains its own mailbox. Messages are
+//! type-erased (`Box<dyn Any + Send>`) so a single mailbox array serves
+//! collectives of any element type; the drain side downcasts and sorts by
+//! source rank for determinism.
+
+use std::any::Any;
+use std::sync::Barrier;
+
+use parking_lot::Mutex;
+
+type AnyMsg = Box<dyn Any + Send>;
+
+/// The exchange fabric shared by all `p` simulated processors.
+pub(crate) struct Fabric {
+    boxes: Vec<Mutex<Vec<(usize, AnyMsg)>>>,
+    barrier: Barrier,
+}
+
+impl Fabric {
+    pub(crate) fn new(p: usize) -> Self {
+        Fabric {
+            boxes: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+            barrier: Barrier::new(p),
+        }
+    }
+
+    /// Deposit a message from `src` into the mailbox of `dst`.
+    pub(crate) fn deposit<T: Send + 'static>(&self, src: usize, dst: usize, msg: Vec<T>) {
+        self.boxes[dst].lock().push((src, Box::new(msg)));
+    }
+
+    /// Barrier synchronisation across all processors.
+    pub(crate) fn sync(&self) {
+        self.barrier.wait();
+    }
+
+    /// Drain the mailbox of `me`, returning one `Vec<T>` per source rank
+    /// (empty for sources that sent nothing), in source-rank order.
+    ///
+    /// # Panics
+    /// Panics if a message has the wrong element type, which indicates a
+    /// superstep protocol divergence between SPMD processors.
+    pub(crate) fn drain<T: Send + 'static>(&self, me: usize, p: usize) -> Vec<Vec<T>> {
+        let mut raw = std::mem::take(&mut *self.boxes[me].lock());
+        raw.sort_by_key(|(src, _)| *src);
+        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        for (src, msg) in raw {
+            let typed = msg
+                .downcast::<Vec<T>>()
+                .expect("mailbox type mismatch: SPMD processors diverged");
+            debug_assert!(out[src].is_empty(), "duplicate message from one source in one round");
+            out[src] = *typed;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn exchange_roundtrip() {
+        let p = 4;
+        let fabric = Fabric::new(p);
+        thread::scope(|s| {
+            for me in 0..p {
+                let fabric = &fabric;
+                s.spawn(move || {
+                    // Everyone sends `me * 10 + dst` to every dst.
+                    for dst in 0..p {
+                        fabric.deposit(me, dst, vec![(me * 10 + dst) as u64]);
+                    }
+                    fabric.sync();
+                    let got = fabric.drain::<u64>(me, p);
+                    fabric.sync();
+                    for (src, msgs) in got.iter().enumerate() {
+                        assert_eq!(msgs, &vec![(src * 10 + me) as u64]);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,140 @@
+//! Superstep / h-relation accounting.
+//!
+//! Corollaries 1–3 of the paper bound the number of communication rounds
+//! (a constant) and the size `h` of each h-relation (`h = s/p`). The
+//! statistics collected here are exactly those two quantities, per
+//! collective call, so the experiment harness can verify the bounds on real
+//! executions instead of trusting the proofs.
+
+use parking_lot::Mutex;
+
+/// Accumulated measurements for one superstep (one collective call).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundStat {
+    /// Name of the collective that produced this round (e.g. `"all_to_all"`).
+    pub label: &'static str,
+    /// Maximum number of words sent by any processor in this round.
+    pub max_sent_words: u64,
+    /// Maximum number of words received by any processor in this round.
+    pub max_recv_words: u64,
+    /// Total words moved across all processors in this round.
+    pub total_words: u64,
+}
+
+impl RoundStat {
+    /// The h-relation size of this round: the largest per-processor
+    /// send-or-receive volume.
+    pub fn h(&self) -> u64 {
+        self.max_sent_words.max(self.max_recv_words)
+    }
+}
+
+/// Statistics for one or more [`Machine::run`](crate::Machine::run) calls.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-superstep measurements, in execution order.
+    pub rounds: Vec<RoundStat>,
+    /// Number of `run` invocations covered by these statistics.
+    pub runs: usize,
+}
+
+impl RunStats {
+    /// Number of communication supersteps executed.
+    pub fn supersteps(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The largest h-relation routed in any superstep.
+    pub fn max_h(&self) -> u64 {
+        self.rounds.iter().map(RoundStat::h).max().unwrap_or(0)
+    }
+
+    /// Total words moved across all supersteps and processors.
+    pub fn total_traffic(&self) -> u64 {
+        self.rounds.iter().map(|r| r.total_words).sum()
+    }
+
+    /// Supersteps grouped by label with (count, max h) per label.
+    pub fn by_label(&self) -> Vec<(&'static str, usize, u64)> {
+        let mut out: Vec<(&'static str, usize, u64)> = Vec::new();
+        for r in &self.rounds {
+            match out.iter_mut().find(|(l, _, _)| *l == r.label) {
+                Some((_, n, h)) => {
+                    *n += 1;
+                    *h = (*h).max(r.h());
+                }
+                None => out.push((r.label, 1, r.h())),
+            }
+        }
+        out
+    }
+}
+
+/// Shared collector the SPMD threads report into.
+///
+/// All `p` processors execute the same sequence of collectives, so the
+/// round index is a per-processor counter that stays in lock-step; each
+/// processor folds its own send/receive volume into the round's entry.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCollector {
+    rounds: Mutex<Vec<RoundStat>>,
+}
+
+impl StatsCollector {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `sent`/`recv` words by one processor for round `round`.
+    pub(crate) fn record(&self, round: usize, label: &'static str, sent: u64, recv: u64) {
+        let mut rounds = self.rounds.lock();
+        if rounds.len() <= round {
+            rounds.resize(round + 1, RoundStat::default());
+        }
+        let r = &mut rounds[round];
+        debug_assert!(r.label.is_empty() || r.label == label, "superstep divergence");
+        r.label = label;
+        r.max_sent_words = r.max_sent_words.max(sent);
+        r.max_recv_words = r.max_recv_words.max(recv);
+        r.total_words += sent;
+    }
+
+    pub(crate) fn into_rounds(self) -> Vec<RoundStat> {
+        self.rounds.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_takes_max_over_processors() {
+        let c = StatsCollector::new();
+        c.record(0, "x", 10, 4);
+        c.record(0, "x", 3, 12);
+        let rounds = c.into_rounds();
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].max_sent_words, 10);
+        assert_eq!(rounds[0].max_recv_words, 12);
+        assert_eq!(rounds[0].total_words, 13);
+        assert_eq!(rounds[0].h(), 12);
+    }
+
+    #[test]
+    fn stats_summaries() {
+        let stats = RunStats {
+            rounds: vec![
+                RoundStat { label: "a", max_sent_words: 5, max_recv_words: 7, total_words: 20 },
+                RoundStat { label: "b", max_sent_words: 9, max_recv_words: 2, total_words: 11 },
+                RoundStat { label: "a", max_sent_words: 1, max_recv_words: 1, total_words: 2 },
+            ],
+            runs: 1,
+        };
+        assert_eq!(stats.supersteps(), 3);
+        assert_eq!(stats.max_h(), 9);
+        assert_eq!(stats.total_traffic(), 33);
+        let by = stats.by_label();
+        assert_eq!(by, vec![("a", 2, 7), ("b", 1, 9)]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Contract tests for the per-processor context: misuse is detected, and
+//! the metering layer charges exactly the words that cross processor
+//! boundaries.
+
+use ddrs_cgm::{Machine, Payload};
+
+#[test]
+#[should_panic(expected = "simulated processor panicked")]
+fn exchange_requires_p_buckets() {
+    let m = Machine::new(2).unwrap();
+    m.run(|ctx| {
+        let out: Vec<Vec<u64>> = vec![vec![1]]; // only one bucket for p = 2
+        ctx.all_to_all(out);
+    });
+}
+
+#[test]
+#[should_panic(expected = "simulated processor panicked")]
+fn route_rejects_bad_destination() {
+    let m = Machine::new(2).unwrap();
+    m.run(|ctx| {
+        ctx.route(vec![(9usize, 1u64)]);
+    });
+}
+
+#[test]
+#[should_panic(expected = "simulated processor panicked")]
+fn broadcast_rejects_bad_root() {
+    let m = Machine::new(2).unwrap();
+    m.run(|ctx| {
+        let data = (ctx.rank() == 0).then(|| vec![1u64]);
+        ctx.broadcast(5, data);
+    });
+}
+
+/// Heap payloads are metered through the exchange: shipping a Vec<Vec<…>>
+/// charges the nested contents, not the shallow size.
+#[test]
+fn nested_payload_metering() {
+    let m = Machine::new(2).unwrap();
+    m.run(|ctx| {
+        let msg: Vec<Vec<u64>> = vec![vec![0u64; 100]];
+        let mut out: Vec<Vec<Vec<u64>>> = vec![Vec::new(), Vec::new()];
+        out[1 - ctx.rank()] = msg;
+        ctx.all_to_all(out);
+    });
+    let stats = m.take_stats();
+    // Each processor sent one Vec of 100 words (+ headers) to the other.
+    assert!(stats.rounds[0].max_sent_words >= 100, "{:?}", stats.rounds[0]);
+    assert!(stats.rounds[0].max_sent_words <= 110, "{:?}", stats.rounds[0]);
+}
+
+/// Self-sends are free (local memory traffic is not an h-relation).
+#[test]
+fn self_sends_are_not_charged() {
+    let m = Machine::new(2).unwrap();
+    m.run(|ctx| {
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(), Vec::new()];
+        out[ctx.rank()] = vec![7; 1000]; // everything to self
+        ctx.all_to_all(out);
+    });
+    let stats = m.take_stats();
+    assert_eq!(stats.rounds[0].h(), 0);
+    assert_eq!(stats.rounds[0].total_words, 0);
+}
+
+/// Collectives on p = 1 degenerate but stay well-defined.
+#[test]
+fn single_processor_collectives() {
+    let m = Machine::new(1).unwrap();
+    let out = m.run(|ctx| {
+        let s = ctx.all_reduce_sum(5);
+        let sorted = ctx.sort_by_key(vec![3u64, 1, 2], |x| *x);
+        let (pre, total) = ctx.exclusive_scan_sum_total(4);
+        let bal = ctx.load_balance(&[(0u64, 9u64)], vec![(0u64, 1u64)]);
+        (s, sorted, pre, total, bal.items.len())
+    });
+    assert_eq!(out[0].0, 5);
+    assert_eq!(out[0].1, vec![1, 2, 3]);
+    assert_eq!((out[0].2, out[0].3), (0, 4));
+    assert_eq!(out[0].4, 1);
+}
+
+/// Word accounting composes for the container impls used on the wire.
+#[test]
+fn payload_word_rules() {
+    assert_eq!([1u32; 4].words(), 4); // per-element minimum of 1 word
+    assert_eq!(Box::new(5u64).words(), 1);
+    assert_eq!((1u8, 2u8, 3u8, 4u8, 5u8, 6u8).words(), 6);
+    let v: Vec<Option<u64>> = vec![Some(1), None];
+    assert_eq!(v.words(), 1 + 2 + 1);
+}
+
+/// Deterministic results under repeated runs with interleaved barriers.
+#[test]
+fn repeated_runs_are_independent() {
+    let m = Machine::new(4).unwrap();
+    for round in 0..5u64 {
+        let out = m.run(|ctx| {
+            ctx.barrier();
+            let v = ctx.all_gather_one(ctx.rank() as u64 + round);
+            ctx.barrier();
+            v
+        });
+        for o in out {
+            assert_eq!(o, (0..4).map(|r| r + round).collect::<Vec<u64>>());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests for the collective operations: the distributed
+//! results must equal their sequential specifications for arbitrary
+//! inputs, machine sizes and skews.
+
+use proptest::prelude::*;
+
+use ddrs_cgm::Machine;
+
+/// Split `data` into `p` arbitrary contiguous chunks (possibly empty).
+fn chunks<T: Clone>(data: &[T], p: usize, cuts: &[usize]) -> Vec<Vec<T>> {
+    let mut idx: Vec<usize> = cuts.iter().map(|c| c % (data.len() + 1)).collect();
+    idx.sort_unstable();
+    idx.truncate(p - 1);
+    while idx.len() < p - 1 {
+        idx.push(data.len());
+    }
+    let mut out = Vec::with_capacity(p);
+    let mut prev = 0;
+    for &c in &idx {
+        out.push(data[prev..c].to_vec());
+        prev = c;
+    }
+    out.push(data[prev..].to_vec());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Global sample sort equals the sequential sort for any distribution
+    /// of the data over processors.
+    #[test]
+    fn sort_equals_sequential(
+        data in prop::collection::vec(0u64..1000, 0..400),
+        cuts in prop::collection::vec(0usize..400, 0..16),
+        p_log in 0u32..4,
+    ) {
+        let p = 1usize << p_log;
+        let shares = chunks(&data, p, &cuts);
+        let machine = Machine::new(p).unwrap();
+        let outs = machine.run(|ctx| {
+            ctx.sort_by_key(shares[ctx.rank()].clone(), |x| *x)
+        });
+        let got: Vec<u64> = outs.into_iter().flatten().collect();
+        let mut want = data.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Balanced sort additionally evens the per-processor counts.
+    #[test]
+    fn balanced_sort_even_shares(
+        data in prop::collection::vec(0u64..50, 0..300),
+        cuts in prop::collection::vec(0usize..300, 0..8),
+    ) {
+        let p = 4;
+        let shares = chunks(&data, p, &cuts);
+        let machine = Machine::new(p).unwrap();
+        let outs = machine.run(|ctx| {
+            ctx.sort_balanced_by_key(shares[ctx.rank()].clone(), |x| *x)
+        });
+        let counts: Vec<usize> = outs.iter().map(Vec::len).collect();
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "uneven shares {counts:?}");
+        let got: Vec<u64> = outs.into_iter().flatten().collect();
+        let mut want = data.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Rebalance preserves the global order and multiset exactly.
+    #[test]
+    fn rebalance_preserves_sequence(
+        data in prop::collection::vec(0u64..10_000, 0..300),
+        cuts in prop::collection::vec(0usize..300, 0..8),
+    ) {
+        let p = 8;
+        let shares = chunks(&data, p, &cuts);
+        let machine = Machine::new(p).unwrap();
+        let outs = machine.run(|ctx| ctx.rebalance(shares[ctx.rank()].clone()));
+        let got: Vec<u64> = outs.iter().flatten().copied().collect();
+        prop_assert_eq!(got, data.clone());
+        let counts: Vec<usize> = outs.iter().map(Vec::len).collect();
+        prop_assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+    }
+
+    /// Segmented fold equals the sequential grouped fold for any sorted
+    /// distributed sequence.
+    #[test]
+    fn segmented_fold_equals_grouped_sum(
+        mut pairs in prop::collection::vec((0u64..20, 1u64..100), 0..200),
+        cuts in prop::collection::vec(0usize..200, 0..4),
+    ) {
+        pairs.sort_by_key(|p| p.0);
+        let p = 4;
+        let shares = chunks(&pairs, p, &cuts);
+        let machine = Machine::new(p).unwrap();
+        let outs = machine.run(|ctx| {
+            ctx.segmented_fold(shares[ctx.rank()].clone(), |a, b| a + b)
+        });
+        let mut got: Vec<(u64, u64)> = outs.into_iter().flatten().collect();
+        got.sort_by_key(|x| x.0);
+        // Sequential spec.
+        let mut want: Vec<(u64, u64)> = Vec::new();
+        for (seg, v) in &pairs {
+            match want.last_mut() {
+                Some((s, acc)) if s == seg => *acc += v,
+                _ => want.push((*seg, *v)),
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// Load balancing: conservation (every item arrives exactly once),
+    /// co-location (items land with a copy or at the owner) and the
+    /// balance bound.
+    #[test]
+    fn load_balance_invariants(
+        item_rids in prop::collection::vec(0u64..12, 0..300),
+        cuts in prop::collection::vec(0usize..300, 0..8),
+        n_resources in 1u64..12,
+    ) {
+        let p = 8;
+        let item_rids: Vec<u64> =
+            item_rids.into_iter().map(|r| r % n_resources).collect();
+        let shares = chunks(&item_rids, p, &cuts);
+        let machine = Machine::new(p).unwrap();
+        let outs = machine.run(|ctx| {
+            let owned: Vec<(u64, u64)> = (0..n_resources)
+                .filter(|rid| (*rid as usize) % p == ctx.rank())
+                .map(|rid| (rid, rid))
+                .collect();
+            let items: Vec<(u64, u64)> = shares[ctx.rank()]
+                .iter()
+                .map(|&rid| (rid, rid * 7))
+                .collect();
+            let out = ctx.load_balance(&owned, items);
+            (out.resources, out.items)
+        });
+        // Conservation.
+        let arrived: usize = outs.iter().map(|(_, its)| its.len()).sum();
+        prop_assert_eq!(arrived, item_rids.len());
+        // Co-location.
+        for (rank, (res, its)) in outs.iter().enumerate() {
+            let have: Vec<u64> = res.iter().map(|(rid, _)| *rid).collect();
+            for (rid, payload) in its {
+                prop_assert_eq!(*payload, rid * 7);
+                prop_assert!(
+                    have.contains(rid) || (*rid as usize) % p == rank,
+                    "item for {} stranded on rank {}", rid, rank
+                );
+            }
+        }
+        // Balance: pinned copy-0 demand is capped at 2× the even share and
+        // round-robin copies add at most ~⌈C/p⌉ further quotas, so no
+        // processor exceeds a small multiple of the share (+ per-resource
+        // rounding slack).
+        if item_rids.len() >= 2 * p {
+            let max = outs.iter().map(|(_, its)| its.len()).max().unwrap();
+            let share = item_rids.len().div_ceil(p);
+            prop_assert!(
+                max <= 3 * share + 2 * n_resources as usize,
+                "max {} vs share {}", max, share
+            );
+        }
+    }
+
+    /// Prefix sums across processors equal the sequential scan.
+    #[test]
+    fn global_prefix_sums_spec(
+        weights in prop::collection::vec(0u64..1000, 0..120),
+        cuts in prop::collection::vec(0usize..120, 0..4),
+    ) {
+        let p = 4;
+        let shares = chunks(&weights, p, &cuts);
+        let machine = Machine::new(p).unwrap();
+        let outs = machine.run(|ctx| ctx.global_prefix_sums(&shares[ctx.rank()]));
+        let flat: Vec<u64> = outs.iter().flat_map(|(pre, _)| pre.iter().copied()).collect();
+        let mut acc = 0;
+        let want: Vec<u64> = weights
+            .iter()
+            .map(|w| {
+                let here = acc;
+                acc += w;
+                here
+            })
+            .collect();
+        prop_assert_eq!(flat, want);
+        for (_, total) in outs {
+            prop_assert_eq!(total, acc);
+        }
+    }
+}
+
+/// Non-proptest regression: segmented broadcast to every rank range.
+#[test]
+fn segmented_broadcast_all_ranges() {
+    let p = 4;
+    let machine = Machine::new(p).unwrap();
+    for lo in 0..p {
+        for hi in lo..=p {
+            let outs = machine.run(|ctx| {
+                let items = if ctx.rank() == 0 { vec![(7u64, lo..hi)] } else { Vec::new() };
+                ctx.segmented_broadcast(items)
+            });
+            for (rank, got) in outs.iter().enumerate() {
+                let expect = if rank >= lo && rank < hi { vec![7u64] } else { Vec::new() };
+                assert_eq!(got, &expect, "range {lo}..{hi} rank {rank}");
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Heap-array arithmetic for complete binary trees (segment trees).
+//!
+//! A segment tree over `m = 2^h` leaves is stored as a heap of `2m` slots:
+//! the root at index 1, node `v`'s children at `2v` and `2v + 1`, and the
+//! leaf for position `i` at index `m + i`. These helpers are shared by the
+//! sequential [`DimTree`](crate::seq::DimTree) and the replicated hat
+//! trees.
+
+/// Number of heap slots for a tree with `m` leaves (slot 0 unused).
+#[inline]
+pub fn slots(m: usize) -> usize {
+    2 * m
+}
+
+/// Heap index of the leaf at position `i` in a tree with `m` leaves.
+#[inline]
+pub fn leaf(m: usize, i: usize) -> usize {
+    m + i
+}
+
+/// Is `v` a leaf in a tree with `m` leaves?
+#[inline]
+pub fn is_leaf(m: usize, v: usize) -> bool {
+    v >= m
+}
+
+/// The leaf-position range `[a, b)` spanned by node `v` in a tree with `m`
+/// leaves.
+#[inline]
+pub fn span(m: usize, v: usize) -> (usize, usize) {
+    debug_assert!(v >= 1 && v < 2 * m);
+    let depth = v.ilog2();
+    let width = m >> depth;
+    let offset = (v - (1 << depth)) * width;
+    (offset, offset + width)
+}
+
+/// `level(v)`: the height of `v` above the leaves (Definition 2(i)); the
+/// root of a tree with `m = 2^h` leaves has level `h`, leaves have level 0.
+#[inline]
+pub fn level(m: usize, v: usize) -> u32 {
+    m.ilog2() - v.ilog2()
+}
+
+/// Parent heap index (the root has no parent).
+#[inline]
+pub fn parent(v: usize) -> usize {
+    v / 2
+}
+
+/// Walk from the leaf at position `i` up to (and including) the root,
+/// yielding the *internal* ancestors (parent of the leaf first).
+pub fn internal_ancestors(m: usize, i: usize) -> impl Iterator<Item = usize> {
+    let mut v = leaf(m, i) / 2;
+    std::iter::from_fn(move || {
+        if v >= 1 {
+            let out = v;
+            v /= 2;
+            Some(out)
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_partition_each_level() {
+        let m = 8;
+        assert_eq!(span(m, 1), (0, 8));
+        assert_eq!(span(m, 2), (0, 4));
+        assert_eq!(span(m, 3), (4, 8));
+        assert_eq!(span(m, 7), (6, 8));
+        for i in 0..m {
+            assert_eq!(span(m, leaf(m, i)), (i, i + 1));
+        }
+    }
+
+    #[test]
+    fn levels_match_heights() {
+        let m = 8;
+        assert_eq!(level(m, 1), 3);
+        assert_eq!(level(m, 2), 2);
+        assert_eq!(level(m, 15), 0);
+    }
+
+    #[test]
+    fn ancestor_walk() {
+        let m = 8;
+        let anc: Vec<usize> = internal_ancestors(m, 5).collect();
+        // leaf(8,5) = 13 → 6 → 3 → 1
+        assert_eq!(anc, vec![6, 3, 1]);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        // m = 1: node 1 is both root and leaf.
+        assert!(is_leaf(1, 1));
+        assert_eq!(span(1, 1), (0, 1));
+        assert_eq!(level(1, 1), 0);
+        assert_eq!(internal_ancestors(1, 0).count(), 0);
+    }
+}

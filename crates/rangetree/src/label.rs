@@ -1,0 +1,174 @@
+//! Node labels (Definition 2 of the paper).
+//!
+//! Every node `v` of the range tree `T` gets a unique label `path(v)` built
+//! from two indices:
+//!
+//! * `level(v)` — the height of `v` above the leaves of its own segment
+//!   tree (0 for leaves);
+//! * `index(v)` — 1 for the root of `T`; `index(ancestor(v))` for the root
+//!   of any other segment tree (the root of a descendant structure
+//!   *inherits* the index of the node pointing at it); `2·index(parent)`
+//!   for a left child and `2·index(parent) + 1` for a right child.
+//!
+//! `path_index(v) = ⟨index(v), level(v)⟩` and `path(v)` chains the
+//! `path_index` values through the ancestor chain across dimensions.
+//! Lemma 1: for every segment tree `t` and node `v ∈ t`,
+//! `path(ancestor(v))` uniquely identifies `t` — this is what lets the
+//! distributed structure name trees, route records to them during
+//! construction, and address them during the search.
+
+/// A node position inside the conceptual range tree: the chain, from the
+/// primary tree down to the node's own tree, of (heap index within that
+/// segment tree, leaf count of that segment tree) pairs. The last entry is
+/// the node itself; earlier entries are its `ancestor` chain.
+pub type Chain<'a> = &'a [(usize, usize)];
+
+/// `index(v)` for a node at heap position `v` of a segment tree whose root
+/// inherited index `base` (Definition 2(ii)): grafting the heap under
+/// `base` gives `base · 2^depth + offset`.
+#[inline]
+pub fn index_in_tree(base: u64, v: usize) -> u64 {
+    debug_assert!(v >= 1);
+    let depth = v.ilog2();
+    base * (1u64 << depth) + (v as u64 - (1u64 << depth))
+}
+
+/// One `⟨index, level⟩` pair (Definition 2(iii)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathIndex {
+    /// `index(v)`.
+    pub index: u64,
+    /// `level(v)`.
+    pub level: u32,
+}
+
+/// `path(v)` — the full label (Definition 2(iv)), outermost dimension
+/// first. Lexicographic order on labels groups nodes of the same tree
+/// together, which is what the construction algorithm's sorts rely on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PathLabel {
+    /// `path_index` entries from the primary tree down to the node itself.
+    pub pairs: Vec<PathIndex>,
+}
+
+impl PathLabel {
+    /// Compute the label of the node described by `chain`.
+    ///
+    /// Each chain entry is `(heap index, leaf count)` for one segment tree
+    /// along the descendant chain; the node addressed is the heap position
+    /// in the *last* entry.
+    pub fn of(chain: Chain<'_>) -> PathLabel {
+        let mut pairs = Vec::with_capacity(chain.len());
+        let mut base = 1u64; // index of the root of T
+        for &(v, m) in chain {
+            let index = index_in_tree(base, v);
+            let level = crate::heap::level(m, v);
+            pairs.push(PathIndex { index, level });
+            base = index; // descendant root inherits index(ancestor)
+        }
+        PathLabel { pairs }
+    }
+
+    /// The label of `ancestor(v)`: the chain up to the previous dimension.
+    /// Per Lemma 1 this identifies the segment tree containing `v`.
+    pub fn ancestor(&self) -> PathLabel {
+        PathLabel { pairs: self.pairs[..self.pairs.len().saturating_sub(1)].to_vec() }
+    }
+
+    /// Dimension of the node (0-based): number of chain links minus one.
+    pub fn dim(&self) -> usize {
+        self.pairs.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Figure 2 of the paper: a node `U` with `Index = x`, `Level = 1` in
+    /// dimension `i` has children of index `2x`/`2x+1` at level 0; the root
+    /// `V` of its descendant tree in dimension `i+1` satisfies
+    /// `Index(V) = Index(U) = x` with `Level(V) = 2` (a 4-leaf tree), and
+    /// the leaves of that tree get indices `4x .. 4x+3`.
+    #[test]
+    fn fig2_label_algebra() {
+        // Model: dimension-i tree with 8 leaves; U is the internal node at
+        // heap position 5 (level 1), so x = index(U) = 5.
+        let m_i = 8;
+        let u = 5usize;
+        let x = index_in_tree(1, u);
+        assert_eq!(crate::heap::level(m_i, u), 1);
+
+        // Children of U: indices 2x and 2x+1 at level 0.
+        let left = PathLabel::of(&[(2 * u, m_i)]);
+        let right = PathLabel::of(&[(2 * u + 1, m_i)]);
+        assert_eq!(left.pairs[0], PathIndex { index: 2 * x, level: 0 });
+        assert_eq!(right.pairs[0], PathIndex { index: 2 * x + 1, level: 0 });
+
+        // V = root of descendant(U), a tree with 4 leaves in dim i+1.
+        let m_v = 4;
+        let v_label = PathLabel::of(&[(u, m_i), (1, m_v)]);
+        assert_eq!(v_label.pairs[1], PathIndex { index: x, level: 2 });
+
+        // Leaves of descendant(U): indices 4x + 0..4 at level 0.
+        for leaf_pos in 0..4 {
+            let l = PathLabel::of(&[(u, m_i), (crate::heap::leaf(m_v, leaf_pos), m_v)]);
+            assert_eq!(
+                l.pairs[1],
+                PathIndex { index: 4 * x + leaf_pos as u64, level: 0 }
+            );
+        }
+    }
+
+    #[test]
+    fn root_of_primary_has_index_one() {
+        let l = PathLabel::of(&[(1, 16)]);
+        assert_eq!(l.pairs, vec![PathIndex { index: 1, level: 4 }]);
+    }
+
+    #[test]
+    fn labels_unique_within_a_two_dim_tree() {
+        // All nodes of a 2-dimensional range tree over 8 points: primary
+        // tree 8 leaves; every primary node has a descendant tree with
+        // 2^level(v) leaves. Labels must be pairwise distinct.
+        let m = 8usize;
+        let mut seen: HashSet<PathLabel> = HashSet::new();
+        for v in 1..2 * m {
+            assert!(seen.insert(PathLabel::of(&[(v, m)])), "dup at primary {v}");
+            let mv = 1usize << crate::heap::level(m, v);
+            for w in 1..2 * mv {
+                let l = PathLabel::of(&[(v, m), (w, mv)]);
+                assert!(seen.insert(l), "dup at ({v},{w})");
+            }
+        }
+    }
+
+    /// Lemma 1: `path(ancestor(v))` is the same for all nodes of one
+    /// segment tree and differs between trees.
+    #[test]
+    fn lemma1_ancestor_identifies_tree() {
+        let m = 8usize;
+        let mut tree_ids: HashSet<PathLabel> = HashSet::new();
+        for v in 1..2 * m {
+            let mv = 1usize << crate::heap::level(m, v);
+            let members: Vec<PathLabel> = (1..2 * mv)
+                .map(|w| PathLabel::of(&[(v, m), (w, mv)]).ancestor())
+                .collect();
+            // All members agree...
+            assert!(members.windows(2).all(|p| p[0] == p[1]));
+            // ...and the id is new for this tree.
+            assert!(tree_ids.insert(members[0].clone()), "trees collide at v={v}");
+        }
+    }
+
+    #[test]
+    fn label_ordering_groups_trees() {
+        // Lexicographic order: all nodes sharing an ancestor prefix sort
+        // contiguously when compared by (ancestor, own pair).
+        let a = PathLabel::of(&[(2, 8), (1, 4)]);
+        let b = PathLabel::of(&[(2, 8), (2, 4)]);
+        let c = PathLabel::of(&[(3, 8), (1, 4)]);
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,44 @@
+//! # ddrs-rangetree — distributed d-dimensional range trees
+//!
+//! Reproduction of the data structures and algorithms of *Ferreira,
+//! Kenyon, Rau-Chaplin, Ubéda — "d-Dimensional Range Search on
+//! Multicomputers"* (IPPS 1997):
+//!
+//! * [`SeqRangeTree`] — the classical sequential range tree
+//!   (`O(n log^(d-1) n)` space, `O(log^d n)` search) the paper builds on;
+//! * [`DistRangeTree`] — the paper's contribution: a distributed range
+//!   tree on a `CGM(s, p)` machine, split into a replicated **hat** (the
+//!   top `log p` levels, a range tree on `p` leaves) and a distributed
+//!   **forest** of `n/p`-point subtrees, supporting batched multisearch
+//!   with per-tree congestion balancing;
+//! * query modes: counting, generic commutative-[`Semigroup`]
+//!   aggregation (*associative-function mode*) and enumeration
+//!   (*report mode*).
+//!
+//! ```
+//! use ddrs_cgm::Machine;
+//! use ddrs_rangetree::{DistRangeTree, Point, Rect};
+//!
+//! let machine = Machine::new(4).unwrap();
+//! let pts: Vec<Point<2>> =
+//!     (0..64).map(|i| Point::new([i, 63 - i], i as u32)).collect();
+//! let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+//! let counts = tree.count_batch(&machine, &[Rect::new([0, 0], [15, 63])]);
+//! assert_eq!(counts, vec![16]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod heap;
+pub mod label;
+pub mod point;
+pub mod rank;
+pub mod semigroup;
+pub mod seq;
+
+pub use dist::{BuildError, DistRangeTree, DynamicDistRangeTree, StructureReport};
+pub use point::{Point, RPoint, RRect, Rect, PAD_ID};
+pub use rank::{RankError, RankSpace};
+pub use semigroup::{Count, MaxWeight, MinId, Semigroup, Sum};
+pub use seq::{DimTree, Sel, SeqRangeTree};

@@ -1,0 +1,173 @@
+//! Points and orthogonal query domains in user coordinate space and in the
+//! internal rank space.
+//!
+//! The paper assumes (w.l.o.g.) that "all coordinates in each dimension are
+//! normalized by replacing each of them by their rank in increasing order,
+//! i.e. points are in {1..n}^d, and n = 2^k". The public API works on raw
+//! `i64` coordinates; [`crate::rank::RankSpace`] performs the normalization
+//! (with identifier tie-breaking so duplicate coordinates get distinct
+//! ranks) and the padding to a power of two.
+
+use ddrs_cgm::Payload;
+
+/// A point of the input set `L`: an ordered `d`-tuple of coordinates, a
+/// unique record identifier, and an associated weight used by the
+/// associative-function query mode (the paper's `f(l)` values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Point<const D: usize> {
+    /// Cartesian coordinates `x_1(l) … x_d(l)`.
+    pub coords: [i64; D],
+    /// Unique record identifier (must be unique across the input set and
+    /// less than [`PAD_ID`]).
+    pub id: u32,
+    /// Semigroup payload for associative-function queries (e.g. a sales
+    /// amount for `Sum`). Ignored by count and report modes.
+    pub weight: u64,
+}
+
+impl<const D: usize> Point<D> {
+    /// A point with unit weight.
+    pub fn new(coords: [i64; D], id: u32) -> Self {
+        Point { coords, id, weight: 1 }
+    }
+
+    /// A point with an explicit semigroup weight.
+    pub fn weighted(coords: [i64; D], id: u32, weight: u64) -> Self {
+        Point { coords, id, weight }
+    }
+}
+
+impl<const D: usize> Payload for Point<D> {}
+
+/// Identifier reserved for the sentinel pad points that round the input
+/// size up to a power of two. Pad points sort after every real point in
+/// every dimension and are excluded from all query results.
+pub const PAD_ID: u32 = u32::MAX;
+
+/// An axis-aligned orthogonal query domain `q` with *inclusive* bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect<const D: usize> {
+    /// Lower corner (inclusive).
+    pub lo: [i64; D],
+    /// Upper corner (inclusive).
+    pub hi: [i64; D],
+}
+
+impl<const D: usize> Rect<D> {
+    /// Construct a query box from inclusive corners.
+    pub fn new(lo: [i64; D], hi: [i64; D]) -> Self {
+        Rect { lo, hi }
+    }
+
+    /// Does the box contain the point (inclusively)?
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        (0..D).all(|j| self.lo[j] <= p.coords[j] && p.coords[j] <= self.hi[j])
+    }
+
+    /// True if some dimension has `lo > hi` (matches nothing).
+    pub fn is_empty(&self) -> bool {
+        (0..D).any(|j| self.lo[j] > self.hi[j])
+    }
+}
+
+impl<const D: usize> Payload for Rect<D> {}
+
+/// A point in rank space: per-dimension ranks in `0..m` (`m` the padded
+/// size), plus the original id and weight. All internal algorithms operate
+/// on `RPoint`s; ranks are unique per dimension by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RPoint<const D: usize> {
+    /// Rank of this point in each dimension (unique within a dimension).
+    pub ranks: [u32; D],
+    /// Original record id, or [`PAD_ID`] for sentinel pads.
+    pub id: u32,
+    /// Original weight.
+    pub weight: u64,
+}
+
+impl<const D: usize> RPoint<D> {
+    /// Is this a sentinel pad point?
+    #[inline]
+    pub fn is_pad(&self) -> bool {
+        self.id == PAD_ID
+    }
+}
+
+impl<const D: usize> Payload for RPoint<D> {}
+
+/// A query in rank space: inclusive rank intervals per dimension.
+/// `lo[j] > hi[j]` encodes an empty interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RRect<const D: usize> {
+    /// Inclusive lower ranks.
+    pub lo: [u32; D],
+    /// Inclusive upper ranks.
+    pub hi: [u32; D],
+}
+
+impl<const D: usize> RRect<D> {
+    /// True if some dimension's rank interval is empty.
+    pub fn is_empty(&self) -> bool {
+        (0..D).any(|j| self.lo[j] > self.hi[j])
+    }
+
+    /// Does the rank interval in dimension `j` fully contain `[lo, hi]`?
+    #[inline]
+    pub fn contains_interval(&self, j: usize, lo: u32, hi: u32) -> bool {
+        self.lo[j] <= lo && hi <= self.hi[j]
+    }
+
+    /// Is the rank interval in dimension `j` disjoint from `[lo, hi]`?
+    #[inline]
+    pub fn disjoint_interval(&self, j: usize, lo: u32, hi: u32) -> bool {
+        hi < self.lo[j] || lo > self.hi[j]
+    }
+
+    /// Does the point's rank vector fall inside the box on dimensions
+    /// `from_dim..D`?
+    #[inline]
+    pub fn contains_ranks_from(&self, p: &RPoint<D>, from_dim: usize) -> bool {
+        (from_dim..D).all(|j| self.lo[j] <= p.ranks[j] && p.ranks[j] <= self.hi[j])
+    }
+}
+
+impl<const D: usize> Payload for RRect<D> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_contains_is_inclusive() {
+        let r = Rect::new([0, 0], [10, 10]);
+        assert!(r.contains(&Point::new([0, 0], 1)));
+        assert!(r.contains(&Point::new([10, 10], 2)));
+        assert!(!r.contains(&Point::new([11, 5], 3)));
+        assert!(!r.contains(&Point::new([-1, 5], 4)));
+    }
+
+    #[test]
+    fn empty_rect() {
+        assert!(Rect::new([5, 0], [4, 10]).is_empty());
+        assert!(!Rect::new([5, 0], [5, 0]).is_empty());
+    }
+
+    #[test]
+    fn rrect_interval_tests() {
+        let q = RRect { lo: [2, 0], hi: [7, 3] };
+        assert!(q.contains_interval(0, 2, 7));
+        assert!(q.contains_interval(0, 3, 5));
+        assert!(!q.contains_interval(0, 1, 7));
+        assert!(q.disjoint_interval(0, 8, 9));
+        assert!(q.disjoint_interval(0, 0, 1));
+        assert!(!q.disjoint_interval(0, 7, 9));
+    }
+
+    #[test]
+    fn rrect_point_membership_from_dim() {
+        let q = RRect { lo: [5, 2, 0], hi: [9, 4, 1] };
+        let p = RPoint { ranks: [100, 3, 1], id: 0, weight: 1 };
+        assert!(q.contains_ranks_from(&p, 1)); // dim 0 ignored
+        assert!(!q.contains_ranks_from(&p, 0));
+    }
+}

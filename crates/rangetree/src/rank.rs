@@ -1,0 +1,205 @@
+//! Rank normalization and power-of-two padding.
+//!
+//! Maps user coordinates to the paper's normalized setting: every
+//! coordinate replaced by its rank (duplicates broken by record id, so
+//! ranks are unique per dimension), the point count padded to the next
+//! power of two with sentinel points whose ranks exceed every real rank in
+//! every dimension. Queries are translated to inclusive rank intervals by
+//! binary search, so sentinel pads are unreachable by any query.
+
+use crate::point::{Point, RPoint, Rect, RRect, PAD_ID};
+
+/// The rank mapping for one input point set.
+///
+/// Holds the per-dimension sorted `(coordinate, id)` arrays needed to
+/// translate query boxes into rank space. In a production multicomputer
+/// this translation would be a distributed binary search; keeping the
+/// arrays on the host is an API convenience that does not participate in
+/// the measured CGM algorithms.
+#[derive(Debug, Clone)]
+pub struct RankSpace<const D: usize> {
+    /// Per dimension: `(coordinate, id)` sorted ascending.
+    sorted: Vec<Vec<(i64, u32)>>,
+    /// Number of real points.
+    n: usize,
+    /// Padded size: the smallest power of two `>= max(n, min_size)`.
+    m: usize,
+}
+
+/// Errors from rank-space construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankError {
+    /// Two input points share an id (ranks would be ambiguous).
+    DuplicateId(u32),
+    /// A point uses the reserved pad id.
+    ReservedId,
+    /// The input point set is empty.
+    Empty,
+}
+
+impl std::fmt::Display for RankError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankError::DuplicateId(id) => write!(f, "duplicate point id {id}"),
+            RankError::ReservedId => write!(f, "point id {PAD_ID} is reserved for pads"),
+            RankError::Empty => write!(f, "empty point set"),
+        }
+    }
+}
+
+impl std::error::Error for RankError {}
+
+impl<const D: usize> RankSpace<D> {
+    /// Build the rank space for `pts`, padding the size up to a power of
+    /// two that is at least `min_size` (pass the processor count so the
+    /// padded size is divisible by `p`).
+    pub fn build(pts: &[Point<D>], min_size: usize) -> Result<Self, RankError> {
+        if pts.is_empty() {
+            return Err(RankError::Empty);
+        }
+        let mut seen = std::collections::HashSet::with_capacity(pts.len());
+        for p in pts {
+            if p.id == PAD_ID {
+                return Err(RankError::ReservedId);
+            }
+            if !seen.insert(p.id) {
+                return Err(RankError::DuplicateId(p.id));
+            }
+        }
+        let n = pts.len();
+        let m = n.max(min_size).max(1).next_power_of_two();
+        let mut sorted = Vec::with_capacity(D);
+        for j in 0..D {
+            let mut col: Vec<(i64, u32)> = pts.iter().map(|p| (p.coords[j], p.id)).collect();
+            col.sort_unstable();
+            sorted.push(col);
+        }
+        Ok(RankSpace { sorted, n, m })
+    }
+
+    /// Number of real points.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Padded size (a power of two).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Convert the input points to rank space and append the sentinel pads
+    /// (pad `t` has rank `n + t` in every dimension), yielding exactly
+    /// [`m`](RankSpace::m) points.
+    pub fn to_rpoints(&self, pts: &[Point<D>]) -> Vec<RPoint<D>> {
+        let mut out = Vec::with_capacity(self.m);
+        for p in pts {
+            let mut ranks = [0u32; D];
+            for (j, r) in ranks.iter_mut().enumerate() {
+                let idx = self.sorted[j]
+                    .binary_search(&(p.coords[j], p.id))
+                    .expect("point must come from the set the rank space was built on");
+                *r = idx as u32;
+            }
+            out.push(RPoint { ranks, id: p.id, weight: p.weight });
+        }
+        for t in 0..(self.m - self.n) {
+            out.push(RPoint { ranks: [(self.n + t) as u32; D], id: PAD_ID, weight: 0 });
+        }
+        out
+    }
+
+    /// Translate a query box to inclusive rank intervals. The interval in
+    /// dimension `j` covers exactly the real points whose coordinate lies
+    /// in `[lo[j], hi[j]]`.
+    pub fn translate(&self, q: &Rect<D>) -> RRect<D> {
+        let mut lo = [0u32; D];
+        let mut hi = [0u32; D];
+        for j in 0..D {
+            // First rank with coord >= q.lo[j] (any id).
+            let l = self.sorted[j].partition_point(|&(c, _)| c < q.lo[j]);
+            // First rank with coord > q.hi[j].
+            let h = self.sorted[j].partition_point(|&(c, _)| c <= q.hi[j]);
+            lo[j] = l as u32;
+            // h == l encodes an empty interval as lo > hi (u32 wrap avoided).
+            if h == 0 || h <= l {
+                lo[j] = 1;
+                hi[j] = 0;
+            } else {
+                hi[j] = (h - 1) as u32;
+            }
+        }
+        RRect { lo, hi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts2(coords: &[[i64; 2]]) -> Vec<Point<2>> {
+        coords.iter().enumerate().map(|(i, &c)| Point::new(c, i as u32)).collect()
+    }
+
+    #[test]
+    fn ranks_are_unique_and_order_preserving() {
+        let pts = pts2(&[[5, 50], [3, 30], [9, 10], [3, 70]]);
+        let rs = RankSpace::build(&pts, 1).unwrap();
+        let rp = rs.to_rpoints(&pts);
+        // Dimension 0 values: 5,3,9,3 → ranks 2,{0,1},3 (duplicates by id).
+        assert_eq!(rp[0].ranks[0], 2);
+        assert_eq!(rp[2].ranks[0], 3);
+        let dup_ranks: Vec<u32> = vec![rp[1].ranks[0], rp[3].ranks[0]];
+        assert_eq!(dup_ranks, vec![0, 1]); // id 1 before id 3
+        // Dimension 1 values 50,30,10,70 → ranks 2,1,0,3.
+        assert_eq!(
+            rp.iter().take(4).map(|p| p.ranks[1]).collect::<Vec<_>>(),
+            vec![2, 1, 0, 3]
+        );
+    }
+
+    #[test]
+    fn padding_to_power_of_two_with_min_size() {
+        let pts = pts2(&[[1, 1], [2, 2], [3, 3]]);
+        let rs = RankSpace::build(&pts, 8).unwrap();
+        assert_eq!(rs.m(), 8);
+        let rp = rs.to_rpoints(&pts);
+        assert_eq!(rp.len(), 8);
+        assert!(rp[3..].iter().all(|p| p.is_pad()));
+        // Pads rank beyond all real ranks, increasing.
+        assert_eq!(rp[3].ranks, [3, 3]);
+        assert_eq!(rp[7].ranks, [7, 7]);
+    }
+
+    #[test]
+    fn translate_inclusive_bounds() {
+        let pts = pts2(&[[10, 0], [20, 0], [30, 0], [40, 0]]);
+        let rs = RankSpace::build(&pts, 1).unwrap();
+        let q = rs.translate(&Rect::new([20, 0], [30, 0]));
+        assert_eq!((q.lo[0], q.hi[0]), (1, 2));
+        // Query between values: [21, 29] matches nothing in dim 0.
+        let q = rs.translate(&Rect::new([21, 0], [29, 0]));
+        assert!(q.lo[0] > q.hi[0]);
+        // Query covering everything.
+        let q = rs.translate(&Rect::new([i64::MIN, 0], [i64::MAX, 0]));
+        assert_eq!((q.lo[0], q.hi[0]), (0, 3));
+    }
+
+    #[test]
+    fn translate_duplicates_cover_all_copies() {
+        let pts = pts2(&[[7, 0], [7, 0], [7, 0], [9, 0]]);
+        let rs = RankSpace::build(&pts, 1).unwrap();
+        let q = rs.translate(&Rect::new([7, 0], [7, 0]));
+        assert_eq!((q.lo[0], q.hi[0]), (0, 2));
+    }
+
+    #[test]
+    fn build_rejects_bad_ids() {
+        let mut pts = pts2(&[[1, 1], [2, 2]]);
+        pts[1].id = 0;
+        assert!(matches!(RankSpace::build(&pts, 1), Err(RankError::DuplicateId(0))));
+        let mut pts = pts2(&[[1, 1]]);
+        pts[0].id = PAD_ID;
+        assert!(matches!(RankSpace::build(&pts, 1), Err(RankError::ReservedId)));
+        assert!(matches!(RankSpace::<2>::build(&[], 1), Err(RankError::Empty)));
+    }
+}

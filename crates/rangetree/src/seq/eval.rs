@@ -1,0 +1,162 @@
+//! Evaluating selections: count, report, and semigroup folds.
+
+use std::collections::HashMap;
+
+use crate::heap;
+use crate::point::RPoint;
+use crate::semigroup::{comb_opt, Semigroup};
+use crate::seq::tree::{DimTree, Sel};
+
+/// Number of real points under a selection.
+pub fn sel_count<const D: usize>(sel: &Sel<'_, D>) -> u64 {
+    match sel {
+        Sel::Node { tree, v } => tree.real_count(*v),
+        Sel::Point { .. } => 1,
+    }
+}
+
+/// Append the point ids under a selection to `out`.
+pub fn sel_report<const D: usize>(sel: &Sel<'_, D>, out: &mut Vec<u32>) {
+    match sel {
+        Sel::Node { tree, v } => {
+            let (a, b) = tree.real_span(*v);
+            out.extend(tree.leaves[a..b].iter().map(|p| p.id));
+        }
+        Sel::Point { pt } => out.push(pt.id),
+    }
+}
+
+/// Iterate the real points `(id, weight)` under a selection.
+pub fn sel_points<'t, const D: usize>(
+    sel: &Sel<'t, D>,
+) -> impl Iterator<Item = &'t RPoint<D>> + 't {
+    let slice: &'t [RPoint<D>] = match sel {
+        Sel::Node { tree, v } => {
+            let (a, b) = tree.real_span(*v);
+            &tree.leaves[a..b]
+        }
+        Sel::Point { pt } => std::slice::from_ref(*pt),
+    };
+    slice.iter()
+}
+
+/// Per-batch bottom-up value arrays for the final-dimension trees, the
+/// sequential analog of Algorithm AssociativeFunction step 1 ("compute
+/// f(v) bottom-up for each node v in dimension d of T"). Trees are keyed
+/// by address; the cache must not outlive the tree borrow it serves.
+pub struct AggCache<S: Semigroup> {
+    map: HashMap<usize, Vec<Option<S::Val>>>,
+}
+
+impl<S: Semigroup> AggCache<S> {
+    /// Empty cache.
+    pub fn new() -> Self {
+        AggCache { map: HashMap::new() }
+    }
+
+    /// Bottom-up `f` values for every node of `tree` (computed once per
+    /// tree per batch).
+    pub fn values_for<const D: usize>(
+        &mut self,
+        sg: &S,
+        tree: &DimTree<D>,
+    ) -> &[Option<S::Val>] {
+        let key = tree as *const DimTree<D> as usize;
+        self.map.entry(key).or_insert_with(|| {
+            let m = tree.m as usize;
+            let mut vals: Vec<Option<S::Val>> = vec![None; 2 * m];
+            for i in 0..(tree.r as usize) {
+                let p = &tree.leaves[i];
+                vals[heap::leaf(m, i)] = Some(sg.lift(p.id, p.weight));
+            }
+            for v in (1..m).rev() {
+                vals[v] = comb_opt(sg, vals[2 * v].clone(), vals[2 * v + 1].clone());
+            }
+            vals
+        })
+    }
+}
+
+impl<S: Semigroup> Default for AggCache<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `⊗` of `f` over the points under a selection, using the cache for
+/// canonical-node selections.
+pub fn sel_fold<S: Semigroup, const D: usize>(
+    sg: &S,
+    sel: &Sel<'_, D>,
+    cache: &mut AggCache<S>,
+) -> Option<S::Val> {
+    match sel {
+        Sel::Node { tree, v } => cache.values_for(sg, tree)[*v].clone(),
+        Sel::Point { pt } => Some(sg.lift(pt.id, pt.weight)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{RPoint, RRect, PAD_ID};
+    use crate::semigroup::{Count, Sum};
+
+    fn tree1d(n: u32, m: u32) -> DimTree<1> {
+        let mut pts: Vec<RPoint<1>> =
+            (0..n).map(|i| RPoint { ranks: [i], id: i, weight: (i + 1) as u64 }).collect();
+        for t in 0..(m - n) {
+            pts.push(RPoint { ranks: [n + t], id: PAD_ID, weight: 0 });
+        }
+        DimTree::build(0, pts)
+    }
+
+    #[test]
+    fn counts_and_reports_clip_pads() {
+        let t = tree1d(5, 8);
+        let q = RRect { lo: [0], hi: [7] };
+        let mut sels = Vec::new();
+        t.search(&q, &mut sels);
+        let total: u64 = sels.iter().map(sel_count).sum();
+        assert_eq!(total, 5);
+        let mut ids = Vec::new();
+        for s in &sels {
+            sel_report(s, &mut ids);
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cached_fold_equals_direct_fold() {
+        let t = tree1d(7, 8);
+        let q = RRect { lo: [2], hi: [6] };
+        let mut sels = Vec::new();
+        t.search(&q, &mut sels);
+        let mut cache = AggCache::new();
+        let mut total: Option<u64> = None;
+        for s in &sels {
+            total = comb_opt(&Sum, total, sel_fold(&Sum, s, &mut cache));
+        }
+        // weights are i+1 → ranks 2..=6 have weights 3+4+5+6+7 = 25.
+        assert_eq!(total, Some(25));
+        // Count via the same machinery.
+        let mut cache = AggCache::new();
+        let mut cnt: Option<u64> = None;
+        for s in &sels {
+            cnt = comb_opt(&Count, cnt, sel_fold(&Count, s, &mut cache));
+        }
+        assert_eq!(cnt, Some(5));
+    }
+
+    #[test]
+    fn cache_reuses_computed_arrays() {
+        let t = tree1d(8, 8);
+        let mut cache: AggCache<Count> = AggCache::new();
+        let v1 = cache.values_for(&Count, &t)[1];
+        let v2 = cache.values_for(&Count, &t)[1];
+        assert_eq!(v1, Some(8));
+        assert_eq!(v2, Some(8));
+        assert_eq!(cache.map.len(), 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! # ddrs-workloads — deterministic point & query generators
+//!
+//! The paper evaluates analytically; to *measure* its bounds the harness
+//! needs concrete inputs. This crate provides seeded, reproducible
+//! generators for point sets (uniform, clustered, grid, correlated) and
+//! range-query workloads (selectivity-calibrated boxes, hot-spot mixes
+//! that stress the multisearch load balancer, point probes).
+
+mod points;
+mod queries;
+mod trace;
+
+pub use points::{PointDistribution, WorkloadBuilder};
+pub use queries::{QueryDistribution, QueryWorkload};
+pub use trace::CsvTable;

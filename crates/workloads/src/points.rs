@@ -1,0 +1,179 @@
+//! Point-set generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ddrs_rangetree::Point;
+
+/// Spatial distribution of the generated point set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PointDistribution {
+    /// Independent uniform coordinates in `[0, side)`.
+    UniformCube {
+        /// Coordinate domain size.
+        side: i64,
+    },
+    /// `k` Gaussian-ish clusters (sum of three uniforms) of width
+    /// `spread`, centres uniform in `[0, side)`.
+    Clusters {
+        /// Coordinate domain size.
+        side: i64,
+        /// Number of clusters.
+        k: usize,
+        /// Cluster radius.
+        spread: i64,
+    },
+    /// The densest regular grid with at least the requested points,
+    /// truncated to exactly `n` (worst case for duplicate-heavy
+    /// per-dimension ranks).
+    Grid {
+        /// Grid side length (points per axis).
+        side: i64,
+    },
+    /// Points near the main diagonal (highly correlated dimensions), with
+    /// uniform jitter `[-jitter, jitter]`.
+    Diagonal {
+        /// Coordinate domain size.
+        side: i64,
+        /// Per-coordinate jitter.
+        jitter: i64,
+    },
+}
+
+/// Seeded builder for point sets.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadBuilder {
+    /// RNG seed (same seed → identical workload).
+    pub seed: u64,
+    /// Number of points.
+    pub n: usize,
+}
+
+impl WorkloadBuilder {
+    /// A builder with the given seed and size.
+    pub fn new(seed: u64, n: usize) -> Self {
+        WorkloadBuilder { seed, n }
+    }
+
+    /// Generate the point set. Ids are `0..n`; weights are pseudo-random
+    /// in `1..=100` (for the associative-function experiments).
+    pub fn points<const D: usize>(&self, dist: PointDistribution) -> Vec<Point<D>> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(self.n);
+        match dist {
+            PointDistribution::UniformCube { side } => {
+                for id in 0..self.n {
+                    let mut c = [0i64; D];
+                    for x in c.iter_mut() {
+                        *x = rng.random_range(0..side);
+                    }
+                    out.push(Point::weighted(c, id as u32, rng.random_range(1..=100)));
+                }
+            }
+            PointDistribution::Clusters { side, k, spread } => {
+                let centres: Vec<[i64; D]> = (0..k.max(1))
+                    .map(|_| {
+                        let mut c = [0i64; D];
+                        for x in c.iter_mut() {
+                            *x = rng.random_range(0..side);
+                        }
+                        c
+                    })
+                    .collect();
+                for id in 0..self.n {
+                    let centre = centres[rng.random_range(0..centres.len())];
+                    let mut c = [0i64; D];
+                    for (j, x) in c.iter_mut().enumerate() {
+                        // Sum of three uniforms ≈ bell-shaped.
+                        let noise: i64 = (0..3)
+                            .map(|_| rng.random_range(-spread..=spread))
+                            .sum::<i64>()
+                            / 3;
+                        *x = (centre[j] + noise).clamp(0, side - 1);
+                    }
+                    out.push(Point::weighted(c, id as u32, rng.random_range(1..=100)));
+                }
+            }
+            PointDistribution::Grid { side } => {
+                'outer: for i in 0.. {
+                    let mut rem: i64 = i;
+                    let mut c = [0i64; D];
+                    for x in c.iter_mut() {
+                        *x = rem % side;
+                        rem /= side;
+                    }
+                    if rem > 0 || out.len() >= self.n {
+                        break 'outer;
+                    }
+                    out.push(Point::weighted(
+                        c,
+                        out.len() as u32,
+                        rng.random_range(1..=100),
+                    ));
+                }
+                assert!(
+                    out.len() == self.n,
+                    "grid side {side}^{D} too small for n={}",
+                    self.n
+                );
+            }
+            PointDistribution::Diagonal { side, jitter } => {
+                for id in 0..self.n {
+                    let t = rng.random_range(0..side);
+                    let mut c = [0i64; D];
+                    for x in c.iter_mut() {
+                        *x = (t + rng.random_range(-jitter..=jitter)).clamp(0, side - 1);
+                    }
+                    out.push(Point::weighted(c, id as u32, rng.random_range(1..=100)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = WorkloadBuilder::new(7, 100).points::<2>(PointDistribution::UniformCube { side: 1000 });
+        let b = WorkloadBuilder::new(7, 100).points::<2>(PointDistribution::UniformCube { side: 1000 });
+        let c = WorkloadBuilder::new(8, 100).points::<2>(PointDistribution::UniformCube { side: 1000 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sizes_and_ids() {
+        for dist in [
+            PointDistribution::UniformCube { side: 500 },
+            PointDistribution::Clusters { side: 500, k: 5, spread: 20 },
+            PointDistribution::Grid { side: 32 },
+            PointDistribution::Diagonal { side: 500, jitter: 10 },
+        ] {
+            let pts = WorkloadBuilder::new(1, 256).points::<3>(dist);
+            assert_eq!(pts.len(), 256, "{dist:?}");
+            let mut ids: Vec<u32> = pts.iter().map(|p| p.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..256).collect::<Vec<u32>>());
+            assert!(pts.iter().all(|p| p.weight >= 1 && p.weight <= 100));
+        }
+    }
+
+    #[test]
+    fn grid_panics_when_too_small() {
+        let r = std::panic::catch_unwind(|| {
+            WorkloadBuilder::new(1, 1000).points::<2>(PointDistribution::Grid { side: 4 })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn diagonal_is_correlated() {
+        let pts = WorkloadBuilder::new(3, 500)
+            .points::<2>(PointDistribution::Diagonal { side: 1000, jitter: 5 });
+        assert!(pts.iter().all(|p| (p.coords[0] - p.coords[1]).abs() <= 10));
+    }
+}

@@ -1,0 +1,104 @@
+//! CSV export of experiment measurements.
+//!
+//! The `repro` harness prints tables; for plotting or regression-tracking
+//! the same data is more useful as CSV. This module is a tiny,
+//! dependency-free writer for the record shapes the experiments produce.
+
+use std::fmt::Write as _;
+
+/// A rectangular measurement table destined for CSV.
+#[derive(Debug, Clone, Default)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Start a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        CsvTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV (RFC-4180 quoting for fields containing commas,
+    /// quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |f: &str| -> String {
+            if f.contains(',') || f.contains('"') || f.contains('\n') {
+                format!("\"{}\"", f.replace('"', "\"\""))
+            } else {
+                f.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ =
+                writeln!(out, "{}", row.iter().map(|f| esc(f)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Write the CSV to a file.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_simple_csv() {
+        let mut t = CsvTable::new(&["p", "rounds", "h"]);
+        t.push_row(vec!["2".into(), "10".into(), "114681".into()]);
+        t.push_row(vec!["4".into(), "10".into(), "172032".into()]);
+        assert_eq!(t.to_csv(), "p,rounds,h\n2,10,114681\n4,10,172032\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn escapes_delicate_fields() {
+        let mut t = CsvTable::new(&["name", "note"]);
+        t.push_row(vec!["a,b".into(), "say \"hi\"".into()]);
+        assert_eq!(t.to_csv(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn rejects_wrong_arity() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn roundtrips_to_disk() {
+        let mut t = CsvTable::new(&["x"]);
+        t.push_row(vec!["7".into()]);
+        let path = std::env::temp_dir().join("ddrs_trace_test.csv");
+        t.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n7\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

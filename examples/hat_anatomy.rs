@@ -1,0 +1,60 @@
+//! Figure 3 brought to life: print the hat/forest anatomy of a
+//! distributed range tree.
+//!
+//! The paper's Figure 3 shows, for p = 8, the hat of `T` in dimension 1 —
+//! the top `log p` levels of the primary segment tree, the `(d-1)`-
+//! dimensional descendant range trees of its internal nodes (on n, n/2,
+//! n/4, … points), and the forest of `p` subtrees on `n/p` points hanging
+//! below. This example builds exactly that structure (p = 8, d = 2) and
+//! prints the same anatomy from the live data structure, then checks the
+//! Theorem 1 size bounds.
+//!
+//! ```text
+//! cargo run --release --example hat_anatomy
+//! ```
+
+use ddrs::prelude::*;
+
+fn main() {
+    let p = 8;
+    let n = 1024usize;
+    let machine = Machine::new(p).expect("machine");
+
+    let pts: Vec<Point<2>> = (0..n as u32)
+        .map(|i| Point::new([((i as i64) * 193) % n as i64, ((i as i64) * 71) % n as i64], i))
+        .collect();
+    let tree = DistRangeTree::<2>::build(&machine, &pts).expect("build");
+    let report = tree.structure_report();
+
+    println!("distributed range tree: n = {n}, d = 2, p = {p}");
+    println!();
+    println!("Figure 3 anatomy (hat in dimension 1 + forest):");
+    println!("  primary segment tree: top log p = {} levels replicated", p.ilog2());
+    println!(
+        "  forest: {} trees of n/p = {} points each, dealt round-robin",
+        report.forest_trees.iter().sum::<usize>(),
+        n / p
+    );
+    println!("  per-processor forest shards (trees): {:?}", report.forest_trees);
+    println!("  per-processor forest shards (nodes): {:?}", report.forest_nodes);
+    println!();
+    println!("sizes (Theorem 1):");
+    let s = report.total_nodes;
+    println!("  total structure s       = {s} nodes");
+    println!("  hat (replicated)        = {} nodes", report.hat_nodes);
+    println!("  s/p                     = {} nodes", s / p as u64);
+    assert!(
+        report.hat_nodes <= 4 * s / p as u64,
+        "Theorem 1(i): |H| = O(s/p) violated"
+    );
+    let max_shard = *report.forest_nodes.iter().max().unwrap();
+    let min_shard = *report.forest_nodes.iter().min().unwrap();
+    println!("  largest forest shard    = {max_shard} nodes");
+    println!("  smallest forest shard   = {min_shard} nodes");
+    assert!(
+        max_shard <= 4 * s / p as u64,
+        "Theorem 1(ii): |F_i| = O(s/p) violated"
+    );
+    println!();
+    println!("Theorem 1 bounds hold ✓  (|H| ≤ O(s/p), every |F_i| ≤ O(s/p))");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: build a distributed range tree and run all three query
+//! modes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ddrs::prelude::*;
+use ddrs::rangetree::{Rect, Sum};
+
+fn main() {
+    // A coarse grained multicomputer with 8 simulated processors.
+    let machine = Machine::new(8).expect("p must be a power of two");
+
+    // 4096 pseudo-random 2-d points with weights.
+    let pts: Vec<Point<2>> = (0..4096u32)
+        .map(|i| {
+            let x = ((i as i64) * 193) % 2048;
+            let y = ((i as i64) * 71) % 2048;
+            Point::weighted([x, y], i, (i % 97 + 1) as u64)
+        })
+        .collect();
+
+    // Algorithm Construct: the distributed range tree.
+    let tree = DistRangeTree::<2>::build(&machine, &pts).expect("build");
+    let build_stats = machine.take_stats();
+    println!("built distributed range tree: {tree:?}");
+    println!(
+        "  construction: {} supersteps, max h-relation {} words",
+        build_stats.supersteps(),
+        build_stats.max_h()
+    );
+    let report = tree.structure_report();
+    println!(
+        "  hat: {} nodes (replicated); forest shards: {:?} nodes",
+        report.hat_nodes, report.forest_nodes
+    );
+
+    // A batch of queries.
+    let queries = vec![
+        Rect::new([0, 0], [1023, 1023]),
+        Rect::new([500, 500], [600, 700]),
+        Rect::new([0, 0], [2047, 2047]),
+        Rect::new([3000, 3000], [4000, 4000]), // empty
+    ];
+
+    // Counting (associative-function mode with the Count semigroup).
+    let counts = tree.count_batch(&machine, &queries);
+    println!("counts:  {counts:?}");
+
+    // Weighted sums (associative-function mode).
+    let sums = tree.aggregate_batch(&machine, Sum, &queries);
+    println!("sums:    {sums:?}");
+
+    // Report mode: the matching point ids themselves.
+    let reports = tree.report_batch(&machine, &queries);
+    println!(
+        "reports: {:?} ids per query",
+        reports.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    let q_stats = machine.take_stats();
+    println!(
+        "  queries: {} supersteps across 3 batches, max h {} words",
+        q_stats.supersteps(),
+        q_stats.max_h()
+    );
+
+    // Cross-check against the brute-force oracle.
+    let oracle = BruteForce::new(pts);
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(counts[i], oracle.count(q), "count mismatch on {q:?}");
+        assert_eq!(reports[i], oracle.report(q), "report mismatch on {q:?}");
+    }
+    println!("verified against brute force ✓");
+}

@@ -1,0 +1,72 @@
+//! OLAP-style associative-function scenario: aggregate sales records over
+//! (time, price, store) cubes.
+//!
+//! The associative-function mode answers `⊗ f(l)` over every record in a
+//! query box — here: revenue sums and single-largest-transaction maxima
+//! over (day, price, store-id) ranges, the "database applications" the
+//! paper's introduction motivates. Note `max` has no inverse, so the
+//! simpler dominance-counting trick does not apply; the full range tree
+//! machinery is required.
+//!
+//! ```text
+//! cargo run --release --example sales_analytics
+//! ```
+
+use ddrs::prelude::*;
+use ddrs::rangetree::{MaxWeight, Rect, Sum};
+
+fn main() {
+    let machine = Machine::new(8).expect("machine");
+
+    // 30k sales records: (day 0..365, unit price 0..5000, store 0..200),
+    // weight = transaction amount.
+    let n = 30_000u32;
+    let pts: Vec<Point<3>> = (0..n)
+        .map(|i| {
+            let day = ((i as i64) * 37 + (i as i64 / 7) * 11) % 365;
+            let price = ((i as i64) * 193) % 5000;
+            let store = ((i as i64) * 71) % 200;
+            let amount = (price as u64 + 1) * (1 + (i as u64) % 5);
+            Point::weighted([day, price, store], i, amount)
+        })
+        .collect();
+
+    let tree = DistRangeTree::<3>::build(&machine, &pts).expect("build");
+    println!("built 3-d distributed range tree over {n} sales records");
+
+    // Analyst queries: quarterly revenue in price bands, per store group.
+    let queries = vec![
+        // Q1, all prices, all stores.
+        Rect::new([0, 0, 0], [89, 4999, 199]),
+        // Q2, premium price band, first store group.
+        Rect::new([90, 4000, 0], [179, 4999, 49]),
+        // Whole year, budget band, one store.
+        Rect::new([0, 0, 120], [364, 499, 120]),
+        // Black-friday week, everything.
+        Rect::new([328, 0, 0], [334, 4999, 199]),
+    ];
+    let names = ["Q1 total", "Q2 premium/stores 0-49", "budget band @store120", "BF week"];
+
+    let revenue = tree.aggregate_batch(&machine, Sum, &queries);
+    let biggest = tree.aggregate_batch(&machine, MaxWeight, &queries);
+    let volumes = tree.count_batch(&machine, &queries);
+
+    println!("{:<26} {:>12} {:>14} {:>14}", "query", "records", "revenue", "max txn");
+    for i in 0..queries.len() {
+        println!(
+            "{:<26} {:>12} {:>14} {:>14}",
+            names[i],
+            volumes[i],
+            revenue[i].unwrap_or(0),
+            biggest[i].unwrap_or(0)
+        );
+    }
+
+    // Verify against the brute-force oracle.
+    let oracle = BruteForce::new(pts);
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(revenue[i], oracle.sum_weights(q), "revenue mismatch on {}", names[i]);
+        assert_eq!(volumes[i], oracle.count(q), "volume mismatch on {}", names[i]);
+    }
+    println!("verified against brute force ✓");
+}

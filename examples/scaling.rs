@@ -1,0 +1,65 @@
+//! Scaling demo: the headline claim of the paper on one screen.
+//!
+//! Builds the same workload on machines with p = 1, 2, 4, 8 processors
+//! and prints, for construction and for a batch of n queries: wall time,
+//! superstep count, and max h-relation. The superstep count staying flat
+//! while work per processor shrinks is Corollaries 1–3.
+//!
+//! ```text
+//! cargo run --release --example scaling
+//! ```
+
+use std::time::Instant;
+
+use ddrs::prelude::*;
+use ddrs::workloads::{PointDistribution, QueryDistribution};
+
+fn main() {
+    let n = 1 << 14;
+    let pts: Vec<Point<2>> = WorkloadBuilder::new(99, n)
+        .points(PointDistribution::UniformCube { side: 1 << 20 });
+    let queries = QueryWorkload::from_points(&pts, 5)
+        .queries(QueryDistribution::Selectivity { fraction: 0.001 }, n / 4);
+
+    println!("n = {n} points, {} count queries, d = 2", queries.len());
+    println!(
+        "{:>3} {:>12} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "p", "build(ms)", "b.steps", "b.max_h", "query(ms)", "q.steps", "q.max_h"
+    );
+
+    let mut baseline_q = None;
+    for p in [1usize, 2, 4, 8] {
+        let machine = Machine::new(p).expect("machine");
+
+        let t0 = Instant::now();
+        let tree = DistRangeTree::<2>::build(&machine, &pts).expect("build");
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let bs = machine.take_stats();
+
+        let t0 = Instant::now();
+        let counts = tree.count_batch(&machine, &queries);
+        let query_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let qs = machine.take_stats();
+
+        // All machine sizes must agree on the answers.
+        let checksum: u64 = counts.iter().sum();
+        match &baseline_q {
+            None => baseline_q = Some(checksum),
+            Some(c) => assert_eq!(*c, checksum, "answers diverge at p={p}"),
+        }
+
+        println!(
+            "{:>3} {:>12.1} {:>10} {:>10} {:>12.1} {:>10} {:>10}",
+            p,
+            build_ms,
+            bs.supersteps(),
+            bs.max_h(),
+            query_ms,
+            qs.supersteps(),
+            qs.max_h()
+        );
+    }
+    println!();
+    println!("expected shape: supersteps constant in p; max h shrinking ~1/p;");
+    println!("wall times bounded below by thread overhead at small n.");
+}

@@ -1,0 +1,69 @@
+//! Streaming updates: the paper's future-work extension in action.
+//!
+//! Section 5 of the paper: "the range tree is inherently static; a
+//! dynamic distributed data structure would be more powerful". This
+//! example runs a day of simulated sensor ingest — batches of new
+//! readings arriving, old readings expiring — against the
+//! `DynamicDistRangeTree` (logarithmic method over static distributed
+//! range trees), with live window queries in between.
+//!
+//! ```text
+//! cargo run --release --example streaming_updates
+//! ```
+
+use ddrs::prelude::*;
+use ddrs::rangetree::{DynamicDistRangeTree, Rect};
+
+fn main() {
+    let machine = Machine::new(8).expect("machine");
+    let mut store = DynamicDistRangeTree::<2>::new(1024);
+
+    // Readings: (station position, reading id); 24 hourly batches of
+    // 2000 readings; each batch expires after 6 hours.
+    let batch_size = 2000u32;
+    let window = Rect::new([200_000, 300_000], [600_000, 700_000]);
+    let mut ingested = 0u64;
+
+    println!("{:>4} {:>9} {:>8} {:>9} {:>10}", "hour", "live", "levels", "in-window", "checked");
+    for hour in 0..24u32 {
+        let base = hour * batch_size;
+        let batch: Vec<Point<2>> = (base..base + batch_size)
+            .map(|i| {
+                let x = ((i as i64) * 7919) % 1_000_000;
+                let y = ((i as i64) * 104_729) % 1_000_000;
+                Point::weighted([x, y], i, (i % 1000) as u64)
+            })
+            .collect();
+        store.insert_batch(&machine, &batch).expect("insert");
+        ingested += batch_size as u64;
+
+        // Expire the batch from six hours ago.
+        if hour >= 6 {
+            let old = (hour - 6) * batch_size;
+            let expired: Vec<u32> = (old..old + batch_size).collect();
+            store.delete_batch(&machine, &expired).expect("delete");
+        }
+
+        // Live window query + sampled oracle check.
+        let got = store.count_batch(&machine, &[window])[0];
+        let live_lo = hour.saturating_sub(5) * batch_size;
+        let oracle = (live_lo..base + batch_size)
+            .filter(|&i| {
+                let x = ((i as i64) * 7919) % 1_000_000;
+                let y = ((i as i64) * 104_729) % 1_000_000;
+                window.contains(&Point::new([x, y], i))
+            })
+            .count() as u64;
+        assert_eq!(got, oracle, "hour {hour}");
+        println!(
+            "{:>4} {:>9} {:>8} {:>9} {:>10}",
+            hour,
+            store.len(),
+            store.occupied_levels(),
+            got,
+            "ok"
+        );
+    }
+    println!("\ningested {ingested} readings; final store: {store:?}");
+    println!("every hourly window count verified against the oracle ✓");
+}

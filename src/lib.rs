@@ -1,0 +1,53 @@
+//! # ddrs — d-Dimensional Range Search on Multicomputers
+//!
+//! Umbrella crate re-exporting the full reproduction of
+//! *Ferreira, Kenyon, Rau-Chaplin, Ubéda — "d-Dimensional Range Search on
+//! Multicomputers"* (IPPS 1997 / LIP RR-1996-23):
+//!
+//! * [`cgm`] — the Coarse Grained Multicomputer `CGM(s, p)` simulator
+//!   (SPMD supersteps, collective communication, h-relation accounting),
+//! * [`rangetree`] — sequential and distributed d-dimensional range trees
+//!   (hat/forest decomposition, batched multisearch, associative-function
+//!   and report query modes),
+//! * [`baselines`] — k-d tree, brute-force scan, layered range tree and the
+//!   fully-replicated parallel scheme the paper argues against,
+//! * [`workloads`] — deterministic point/query generators used by the
+//!   experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ddrs::prelude::*;
+//!
+//! // Eight simulated processors (p must be a power of two).
+//! let machine = Machine::new(8).unwrap();
+//!
+//! // A small 2-d point set.
+//! let pts: Vec<Point<2>> = (0..256)
+//!     .map(|i| Point::new([i as i64, (i as i64 * 37) % 256], i))
+//!     .collect();
+//!
+//! // Build the distributed range tree (Algorithm Construct).
+//! let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+//!
+//! // Batched queries: count, aggregate and report modes.
+//! let queries = vec![Rect::new([0, 0], [127, 255]), Rect::new([10, 20], [30, 40])];
+//! let counts = tree.count_batch(&machine, &queries);
+//! assert_eq!(counts[0], 128);
+//! ```
+pub use ddrs_baselines as baselines;
+pub use ddrs_cgm as cgm;
+pub use ddrs_rangetree as rangetree;
+pub use ddrs_workloads as workloads;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use ddrs_baselines::{
+        BruteForce, KdTree, LayeredRangeTree2d, ReplicatedRangeTree, WeightedDominance2d,
+    };
+    pub use ddrs_cgm::{Machine, RunStats};
+    pub use ddrs_rangetree::{
+        Count, DistRangeTree, Point, Rect, SeqRangeTree, Sum,
+    };
+    pub use ddrs_workloads::{PointDistribution, QueryWorkload, WorkloadBuilder};
+}

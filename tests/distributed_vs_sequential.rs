@@ -1,0 +1,197 @@
+//! Cross-implementation integration tests: the distributed range tree,
+//! the sequential range tree, the baselines and the brute-force oracle
+//! must agree on every query, for every machine size and dimension.
+
+use ddrs::prelude::*;
+use ddrs::rangetree::{MaxWeight, Rect, Sum};
+use ddrs::workloads::{PointDistribution, QueryDistribution};
+
+fn check_all_modes<const D: usize>(p: usize, pts: Vec<Point<D>>, queries: Vec<Rect<D>>) {
+    let machine = Machine::new(p).unwrap();
+    let dist = DistRangeTree::<D>::build(&machine, &pts).unwrap();
+    let seq = SeqRangeTree::build(&pts).unwrap();
+    let oracle = BruteForce::new(pts);
+
+    let counts = dist.count_batch(&machine, &queries);
+    let sums = dist.aggregate_batch(&machine, Sum, &queries);
+    let maxes = dist.aggregate_batch(&machine, MaxWeight, &queries);
+    let reports = dist.report_batch(&machine, &queries);
+
+    for (i, q) in queries.iter().enumerate() {
+        let want_ids = oracle.report(q);
+        assert_eq!(counts[i], want_ids.len() as u64, "count p={p} D={D} q={q:?}");
+        assert_eq!(counts[i], seq.count(q), "dist vs seq count p={p} q={q:?}");
+        assert_eq!(reports[i], want_ids, "report p={p} D={D} q={q:?}");
+        assert_eq!(reports[i], seq.report(q), "dist vs seq report p={p} q={q:?}");
+        assert_eq!(sums[i], oracle.sum_weights(q), "sum p={p} D={D} q={q:?}");
+        assert_eq!(sums[i], seq.aggregate(&Sum, q), "dist vs seq sum p={p} q={q:?}");
+        let want_max =
+            oracle.points().iter().filter(|pt| q.contains(pt)).map(|pt| pt.weight).max();
+        assert_eq!(maxes[i], want_max, "max p={p} D={D} q={q:?}");
+    }
+}
+
+fn workload<const D: usize>(
+    seed: u64,
+    n: usize,
+    dist: PointDistribution,
+    mix: QueryDistribution,
+    nq: usize,
+) -> (Vec<Point<D>>, Vec<Rect<D>>) {
+    let pts = WorkloadBuilder::new(seed, n).points::<D>(dist);
+    let queries = QueryWorkload::from_points(&pts, seed ^ 0xabcd).queries(mix, nq);
+    (pts, queries)
+}
+
+#[test]
+fn uniform_2d_all_machine_sizes() {
+    for p in [1, 2, 4, 8] {
+        let (pts, qs) = workload::<2>(
+            1,
+            500,
+            PointDistribution::UniformCube { side: 4096 },
+            QueryDistribution::Selectivity { fraction: 0.05 },
+            40,
+        );
+        check_all_modes(p, pts, qs);
+    }
+}
+
+#[test]
+fn clustered_2d() {
+    let (pts, qs) = workload::<2>(
+        2,
+        700,
+        PointDistribution::Clusters { side: 1 << 16, k: 6, spread: 512 },
+        QueryDistribution::Selectivity { fraction: 0.02 },
+        50,
+    );
+    check_all_modes(4, pts, qs);
+}
+
+#[test]
+fn grid_2d_duplicate_heavy() {
+    let (pts, qs) = workload::<2>(
+        3,
+        625,
+        PointDistribution::Grid { side: 25 },
+        QueryDistribution::Selectivity { fraction: 0.1 },
+        40,
+    );
+    check_all_modes(4, pts, qs);
+}
+
+#[test]
+fn diagonal_correlated_2d() {
+    let (pts, qs) = workload::<2>(
+        4,
+        600,
+        PointDistribution::Diagonal { side: 1 << 15, jitter: 64 },
+        QueryDistribution::Selectivity { fraction: 0.05 },
+        40,
+    );
+    check_all_modes(8, pts, qs);
+}
+
+#[test]
+fn one_dimensional() {
+    for p in [1, 4] {
+        let (pts, qs) = workload::<1>(
+            5,
+            400,
+            PointDistribution::UniformCube { side: 1 << 20 },
+            QueryDistribution::Selectivity { fraction: 0.1 },
+            50,
+        );
+        check_all_modes(p, pts, qs);
+    }
+}
+
+#[test]
+fn three_dimensional() {
+    for p in [2, 8] {
+        let (pts, qs) = workload::<3>(
+            6,
+            300,
+            PointDistribution::UniformCube { side: 1 << 10 },
+            QueryDistribution::Selectivity { fraction: 0.05 },
+            30,
+        );
+        check_all_modes(p, pts, qs);
+    }
+}
+
+#[test]
+fn hotspot_queries_still_correct() {
+    // All queries funnel into one region: the congestion-copy path.
+    let (pts, qs) = workload::<2>(
+        7,
+        800,
+        PointDistribution::UniformCube { side: 1 << 16 },
+        QueryDistribution::HotSpot { region: 0.05, fraction: 0.5 },
+        60,
+    );
+    check_all_modes(8, pts, qs);
+}
+
+#[test]
+fn point_probes() {
+    let pts = WorkloadBuilder::new(8, 512)
+        .points::<2>(PointDistribution::UniformCube { side: 256 });
+    // Probe actual points (guaranteed hits) and random spots.
+    let mut qs: Vec<Rect<2>> =
+        pts.iter().step_by(17).map(|p| Rect::new(p.coords, p.coords)).collect();
+    qs.extend(
+        QueryWorkload::from_points(&pts, 9).queries(QueryDistribution::PointProbe, 30),
+    );
+    check_all_modes(4, pts, qs);
+}
+
+#[test]
+fn slabs_high_fanout() {
+    let (pts, qs) = workload::<2>(
+        10,
+        600,
+        PointDistribution::UniformCube { side: 1 << 14 },
+        QueryDistribution::Slab { dim: 0, fraction: 0.02 },
+        40,
+    );
+    check_all_modes(4, pts, qs);
+}
+
+#[test]
+fn tiny_inputs() {
+    // n barely above p; padding dominates.
+    for n in [3usize, 5, 9, 17] {
+        let pts: Vec<Point<2>> =
+            (0..n).map(|i| Point::new([i as i64, (n - i) as i64], i as u32)).collect();
+        let qs = vec![
+            Rect::new([0, 0], [n as i64, n as i64]),
+            Rect::new([1, 1], [2, 2]),
+            Rect::new([n as i64 * 2, 0], [n as i64 * 3, 1]),
+        ];
+        check_all_modes(4, pts, qs);
+    }
+}
+
+#[test]
+fn kd_and_layered_agree_with_range_tree() {
+    let (pts, qs) = workload::<2>(
+        11,
+        900,
+        PointDistribution::UniformCube { side: 1 << 12 },
+        QueryDistribution::Selectivity { fraction: 0.03 },
+        60,
+    );
+    let seq = SeqRangeTree::build(&pts).unwrap();
+    let kd = KdTree::build(pts.clone());
+    let layered = LayeredRangeTree2d::build(&pts);
+    let rep = ReplicatedRangeTree::build(4, &pts).unwrap();
+    let rep_counts = rep.count_batch(&qs);
+    for (i, q) in qs.iter().enumerate() {
+        let want = seq.report(q);
+        assert_eq!(kd.report(q), want, "kd vs seq {q:?}");
+        assert_eq!(layered.report(q), want, "layered vs seq {q:?}");
+        assert_eq!(rep_counts[i], want.len() as u64, "replicated vs seq {q:?}");
+    }
+}

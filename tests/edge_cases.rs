@@ -1,0 +1,172 @@
+//! Edge-case integration tests: extreme coordinates, degenerate inputs,
+//! higher dimensions, and weight handling.
+
+use ddrs::prelude::*;
+use ddrs::rangetree::{Rect, Sum};
+
+fn check<const D: usize>(p: usize, pts: &[Point<D>], queries: &[Rect<D>]) {
+    let machine = Machine::new(p).unwrap();
+    let tree = DistRangeTree::<D>::build(&machine, pts).unwrap();
+    let seq = SeqRangeTree::build(pts).unwrap();
+    let counts = tree.count_batch(&machine, queries);
+    let reports = tree.report_batch(&machine, queries);
+    for (i, q) in queries.iter().enumerate() {
+        let mut want: Vec<u32> =
+            pts.iter().filter(|pt| q.contains(pt)).map(|pt| pt.id).collect();
+        want.sort_unstable();
+        assert_eq!(counts[i], want.len() as u64, "count {q:?}");
+        assert_eq!(reports[i], want, "report {q:?}");
+        assert_eq!(seq.count(q), want.len() as u64, "seq count {q:?}");
+    }
+}
+
+#[test]
+fn negative_coordinates() {
+    let pts: Vec<Point<2>> = (0..200)
+        .map(|i| Point::new([-1000 + i as i64 * 7, 500 - i as i64 * 5], i))
+        .collect();
+    check(
+        4,
+        &pts,
+        &[
+            Rect::new([-1000, -500], [0, 500]),
+            Rect::new([-500, -100], [-100, 100]),
+            Rect::new([i64::MIN, i64::MIN], [i64::MAX, i64::MAX]),
+        ],
+    );
+}
+
+#[test]
+fn extreme_coordinate_magnitudes() {
+    let pts: Vec<Point<2>> = vec![
+        Point::new([i64::MIN, 0], 0),
+        Point::new([i64::MAX, 0], 1),
+        Point::new([0, i64::MIN], 2),
+        Point::new([0, i64::MAX], 3),
+        Point::new([1, 1], 4),
+    ];
+    check(
+        2,
+        &pts,
+        &[
+            Rect::new([i64::MIN, i64::MIN], [i64::MAX, i64::MAX]),
+            Rect::new([0, 0], [i64::MAX, i64::MAX]),
+            Rect::new([i64::MIN, 0], [0, 0]),
+        ],
+    );
+}
+
+#[test]
+fn single_point_many_processors() {
+    let pts = vec![Point::new([42, 42], 0)];
+    check(
+        8,
+        &pts,
+        &[Rect::new([42, 42], [42, 42]), Rect::new([0, 0], [41, 41])],
+    );
+}
+
+#[test]
+fn all_points_identical() {
+    let pts: Vec<Point<2>> = (0..64).map(|i| Point::new([7, 7], i)).collect();
+    check(
+        4,
+        &pts,
+        &[
+            Rect::new([7, 7], [7, 7]),
+            Rect::new([6, 6], [8, 8]),
+            Rect::new([8, 8], [9, 9]),
+        ],
+    );
+}
+
+#[test]
+fn four_dimensions() {
+    let pts: Vec<Point<4>> = (0..128u32)
+        .map(|i| {
+            Point::new(
+                [
+                    (i % 4) as i64,
+                    ((i / 4) % 4) as i64,
+                    ((i / 16) % 4) as i64,
+                    (i / 64) as i64,
+                ],
+                i,
+            )
+        })
+        .collect();
+    check(
+        4,
+        &pts,
+        &[
+            Rect::new([1, 1, 1, 0], [2, 2, 2, 1]),
+            Rect::new([0, 0, 0, 0], [3, 3, 3, 1]),
+            Rect::new([2, 0, 3, 1], [2, 0, 3, 1]),
+        ],
+    );
+}
+
+#[test]
+fn zero_weights_and_large_weights() {
+    let machine = Machine::new(4).unwrap();
+    let pts: Vec<Point<2>> = (0..32)
+        .map(|i| {
+            Point::weighted([i as i64, i as i64], i, if i % 2 == 0 { 0 } else { u32::MAX as u64 })
+        })
+        .collect();
+    let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+    let q = Rect::new([0, 0], [31, 31]);
+    let got = tree.aggregate_batch(&machine, Sum, &[q]);
+    let want: u64 = pts.iter().map(|p| p.weight).sum();
+    assert_eq!(got[0], Some(want));
+}
+
+#[test]
+fn empty_query_batch() {
+    let machine = Machine::new(2).unwrap();
+    let pts: Vec<Point<2>> = (0..16).map(|i| Point::new([i as i64, 0], i)).collect();
+    let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+    assert!(tree.count_batch(&machine, &[]).is_empty());
+    assert!(tree.report_batch(&machine, &[]).is_empty());
+}
+
+#[test]
+fn many_duplicate_queries() {
+    // The same query many times: stresses per-tree congestion (every copy
+    // of the same work funnels to the same forest trees).
+    let machine = Machine::new(8).unwrap();
+    let pts: Vec<Point<2>> =
+        (0..256u32).map(|i| Point::new([(i % 16) as i64, (i / 16) as i64], i)).collect();
+    let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+    let q = Rect::new([3, 3], [7, 9]);
+    let queries = vec![q; 333];
+    let counts = tree.count_batch(&machine, &queries);
+    let want = pts.iter().filter(|p| q.contains(p)).count() as u64;
+    assert!(counts.iter().all(|&c| c == want));
+}
+
+#[test]
+fn dynamic_tree_integration() {
+    use ddrs::rangetree::DynamicDistRangeTree;
+    let machine = Machine::new(4).unwrap();
+    let mut t = DynamicDistRangeTree::<2>::new(64);
+    let mut live: Vec<Point<2>> = Vec::new();
+    for wave in 0..4u32 {
+        let pts: Vec<Point<2>> = (wave * 100..wave * 100 + 100)
+            .map(|i| Point::new([((i * 193) % 777) as i64, ((i * 71) % 555) as i64], i))
+            .collect();
+        live.extend(&pts);
+        t.insert_batch(&machine, &pts).unwrap();
+    }
+    let dead: Vec<u32> = (0..400).step_by(7).collect();
+    live.retain(|p| !dead.contains(&p.id));
+    t.delete_batch(&machine, &dead).unwrap();
+
+    let q = Rect::new([100, 100], [600, 400]);
+    let want: u64 = live.iter().filter(|p| q.contains(p)).count() as u64;
+    assert_eq!(t.count_batch(&machine, &[q])[0], want);
+    let mut want_ids: Vec<u32> =
+        live.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+    want_ids.sort_unstable();
+    assert_eq!(t.report_batch(&machine, &[q])[0], want_ids);
+}

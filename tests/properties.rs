@@ -1,0 +1,126 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+
+use ddrs::prelude::*;
+use ddrs::rangetree::{Rect, Sum};
+
+/// Generate a small 2-d point set with unique ids and bounded coords.
+fn arb_points(max_n: usize, side: i64) -> impl Strategy<Value = Vec<Point<2>>> {
+    prop::collection::vec((0..side, 0..side, 1u64..50), 1..max_n).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w))| Point::weighted([x, y], i as u32, w))
+            .collect()
+    })
+}
+
+fn arb_query(side: i64) -> impl Strategy<Value = Rect<2>> {
+    (0..side, 0..side, 0..side, 0..side).prop_map(|(a, b, c, d)| {
+        Rect::new([a.min(b), c.min(d)], [a.max(b), c.max(d)])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sequential range tree equals brute force on arbitrary inputs.
+    #[test]
+    fn seq_tree_matches_brute(pts in arb_points(120, 64), q in arb_query(64)) {
+        let tree = SeqRangeTree::build(&pts).unwrap();
+        let oracle = BruteForce::new(pts);
+        prop_assert_eq!(tree.count(&q), oracle.count(&q));
+        prop_assert_eq!(tree.report(&q), oracle.report(&q));
+        prop_assert_eq!(tree.aggregate(&Sum, &q), oracle.sum_weights(&q));
+    }
+
+    /// The k-d tree equals brute force on arbitrary inputs.
+    #[test]
+    fn kd_tree_matches_brute(pts in arb_points(120, 64), q in arb_query(64)) {
+        let tree = KdTree::build(pts.clone());
+        let oracle = BruteForce::new(pts);
+        prop_assert_eq!(tree.count(&q), oracle.count(&q));
+        prop_assert_eq!(tree.report(&q), oracle.report(&q));
+    }
+
+    /// The layered tree equals brute force on arbitrary inputs.
+    #[test]
+    fn layered_tree_matches_brute(pts in arb_points(120, 64), q in arb_query(64)) {
+        let tree = LayeredRangeTree2d::build(&pts);
+        let oracle = BruteForce::new(pts);
+        prop_assert_eq!(tree.count(&q), oracle.count(&q));
+        prop_assert_eq!(tree.report(&q), oracle.report(&q));
+    }
+
+    /// The dominance (inclusion–exclusion) structure equals brute force
+    /// for counting and weighted sums on arbitrary inputs.
+    #[test]
+    fn dominance_matches_brute(pts in arb_points(120, 64), q in arb_query(64)) {
+        let dom = WeightedDominance2d::build(&pts);
+        let oracle = BruteForce::new(pts);
+        prop_assert_eq!(dom.count(&q), oracle.count(&q));
+        prop_assert_eq!(dom.sum_weights(&q), oracle.sum_weights(&q));
+    }
+}
+
+proptest! {
+    // Distributed runs spawn threads per case; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The distributed tree equals brute force on arbitrary inputs,
+    /// machine sizes and query batches.
+    #[test]
+    fn dist_tree_matches_brute(
+        pts in arb_points(80, 48),
+        queries in prop::collection::vec(arb_query(48), 1..12),
+        p_log in 0u32..3,
+    ) {
+        let machine = Machine::new(1 << p_log).unwrap();
+        let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+        let oracle = BruteForce::new(pts);
+        let counts = tree.count_batch(&machine, &queries);
+        let reports = tree.report_batch(&machine, &queries);
+        for (i, q) in queries.iter().enumerate() {
+            prop_assert_eq!(counts[i], oracle.count(q));
+            prop_assert_eq!(&reports[i], &oracle.report(q));
+        }
+    }
+
+    /// Report-mode output is always balanced: no processor holds more
+    /// than ⌈k/p⌉ pairs.
+    #[test]
+    fn report_output_balance(
+        pts in arb_points(100, 32),
+        queries in prop::collection::vec(arb_query(32), 1..10),
+    ) {
+        let p = 4;
+        let machine = Machine::new(p).unwrap();
+        let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+        let shares = tree.report_batch_raw(&machine, &queries);
+        let k: usize = shares.iter().map(Vec::len).sum();
+        let cap = k.div_ceil(p);
+        for (rank, s) in shares.iter().enumerate() {
+            prop_assert!(s.len() <= cap, "rank {} has {} > ⌈k/p⌉ = {}", rank, s.len(), cap);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Structure invariants: hat is O(s/p)-sized and forest shards are
+    /// balanced for arbitrary point sets.
+    #[test]
+    fn theorem1_size_bounds(pts in arb_points(200, 1024)) {
+        let p = 4;
+        let machine = Machine::new(p).unwrap();
+        let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+        let rep = tree.structure_report();
+        let share = (rep.total_nodes / p as u64).max(1);
+        prop_assert!(rep.hat_nodes <= 8 * share,
+            "hat {} vs s/p {}", rep.hat_nodes, share);
+        for &f in &rep.forest_nodes {
+            prop_assert!(f <= 8 * share, "shard {} vs s/p {}", f, share);
+        }
+    }
+}
