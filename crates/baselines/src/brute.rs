@@ -25,8 +25,7 @@ impl<const D: usize> BruteForce<D> {
 
     /// Ids of the points in `q`, ascending.
     pub fn report(&self, q: &Rect<D>) -> Vec<u32> {
-        let mut ids: Vec<u32> =
-            self.pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+        let mut ids: Vec<u32> = self.pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
         ids.sort_unstable();
         ids
     }

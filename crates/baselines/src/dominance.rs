@@ -199,8 +199,7 @@ mod tests {
         let d = WeightedDominance2d::build(&pts);
         for s in 0..20i64 {
             let q = Rect::new([s * 4, s], [s * 4 + 20, s + 40]);
-            let want: u64 =
-                pts.iter().filter(|p| q.contains(p)).map(|p| p.weight).sum();
+            let want: u64 = pts.iter().filter(|p| q.contains(p)).map(|p| p.weight).sum();
             let got = d.sum_weights(&q).unwrap_or(0);
             assert_eq!(got, want, "query {q:?}");
         }

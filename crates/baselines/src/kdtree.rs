@@ -156,9 +156,7 @@ mod tests {
     use super::*;
 
     fn pseudo(n: u32) -> Vec<Point<2>> {
-        (0..n)
-            .map(|i| Point::new([((i * 193) % 97) as i64, ((i * 71) % 89) as i64], i))
-            .collect()
+        (0..n).map(|i| Point::new([((i * 193) % 97) as i64, ((i * 71) % 89) as i64], i)).collect()
     }
 
     #[test]
@@ -167,8 +165,7 @@ mod tests {
         let t = KdTree::build(pts.clone());
         for s in 0..15i64 {
             let q = Rect::new([s * 5, s * 3], [s * 5 + 30, s * 3 + 40]);
-            let mut want: Vec<u32> =
-                pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+            let mut want: Vec<u32> = pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
             want.sort_unstable();
             assert_eq!(t.report(&q), want, "query {q:?}");
             assert_eq!(t.count(&q), want.len() as u64);

@@ -120,9 +120,18 @@ impl LayeredRangeTree2d {
     pub fn count(&self, q: &Rect<2>) -> u64 {
         let Some((xlo, xhi, ylo, yhi)) = self.translate(q) else { return 0 };
         let mut acc = 0u64;
-        self.visit(1, 0, self.m, xlo, xhi, self.locate(1, ylo), self.locate(1, yhi), &mut |_, a, b| {
-            acc += (b - a) as u64;
-        });
+        self.visit(
+            1,
+            0,
+            self.m,
+            xlo,
+            xhi,
+            self.locate(1, ylo),
+            self.locate(1, yhi),
+            &mut |_, a, b| {
+                acc += (b - a) as u64;
+            },
+        );
         acc
     }
 
@@ -130,9 +139,18 @@ impl LayeredRangeTree2d {
     pub fn report(&self, q: &Rect<2>) -> Vec<u32> {
         let Some((xlo, xhi, ylo, yhi)) = self.translate(q) else { return Vec::new() };
         let mut ids = Vec::new();
-        self.visit(1, 0, self.m, xlo, xhi, self.locate(1, ylo), self.locate(1, yhi), &mut |v, a, b| {
-            ids.extend(self.layers[v].ys[a as usize..b as usize].iter().map(|&(_, id)| id));
-        });
+        self.visit(
+            1,
+            0,
+            self.m,
+            xlo,
+            xhi,
+            self.locate(1, ylo),
+            self.locate(1, yhi),
+            &mut |v, a, b| {
+                ids.extend(self.layers[v].ys[a as usize..b as usize].iter().map(|&(_, id)| id));
+            },
+        );
         ids.sort_unstable();
         ids
     }
@@ -198,9 +216,7 @@ mod tests {
     use super::*;
 
     fn pseudo(n: u32) -> Vec<Point<2>> {
-        (0..n)
-            .map(|i| Point::new([((i * 193) % 97) as i64, ((i * 71) % 89) as i64], i))
-            .collect()
+        (0..n).map(|i| Point::new([((i * 193) % 97) as i64, ((i * 71) % 89) as i64], i)).collect()
     }
 
     #[test]
@@ -209,8 +225,7 @@ mod tests {
         let t = LayeredRangeTree2d::build(&pts);
         for s in 0..20i64 {
             let q = Rect::new([s * 4, s * 3], [s * 4 + 25, s * 3 + 35]);
-            let mut want: Vec<u32> =
-                pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+            let mut want: Vec<u32> = pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
             want.sort_unstable();
             assert_eq!(t.report(&q), want, "query {q:?}");
             assert_eq!(t.count(&q), want.len() as u64);

@@ -45,8 +45,7 @@ impl<const D: usize> ReplicatedRangeTree<D> {
     pub fn count_batch(&self, queries: &[Rect<D>]) -> Vec<u64> {
         let p = self.copies.len();
         let mut out = vec![0u64; queries.len()];
-        let chunks: Vec<(usize, &SeqRangeTree<D>)> =
-            self.copies.iter().enumerate().collect();
+        let chunks: Vec<(usize, &SeqRangeTree<D>)> = self.copies.iter().enumerate().collect();
         let results: Vec<Vec<(usize, u64)>> = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .into_iter()

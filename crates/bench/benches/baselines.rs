@@ -46,9 +46,7 @@ fn bench_replication(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("replication_strawman");
     g.sample_size(10);
-    g.bench_function("distributed_query", |b| {
-        b.iter(|| dist.count_batch(&machine, &queries))
-    });
+    g.bench_function("distributed_query", |b| b.iter(|| dist.count_batch(&machine, &queries)));
     g.bench_function("replicated_query", |b| b.iter(|| repl.count_batch(&queries)));
     g.bench_function("distributed_build", |b| {
         b.iter(|| DistRangeTree::<2>::build(&machine, &pts).unwrap())

@@ -31,9 +31,7 @@ fn bench_collectives(c: &mut Criterion) {
             })
         });
         g.bench_with_input(BenchmarkId::new("all_gather", p), &p, |b, _| {
-            b.iter(|| {
-                machine.run(|ctx| ctx.all_gather(vec![ctx.rank() as u64; 1024]).len())
-            })
+            b.iter(|| machine.run(|ctx| ctx.all_gather(vec![ctx.rank() as u64; 1024]).len()))
         });
         g.bench_with_input(BenchmarkId::new("load_balance_hotspot", p), &p, |b, _| {
             b.iter(|| {

@@ -17,13 +17,9 @@ fn bench_construct(c: &mut Criterion) {
         });
         for &p in &[2usize, 8] {
             let machine = Machine::new(p).unwrap();
-            g.bench_with_input(
-                BenchmarkId::new(format!("dist_p{p}"), n),
-                &pts,
-                |b, pts| {
-                    b.iter(|| DistRangeTree::<2>::build(&machine, pts).unwrap());
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("dist_p{p}"), n), &pts, |b, pts| {
+                b.iter(|| DistRangeTree::<2>::build(&machine, pts).unwrap());
+            });
         }
     }
     g.finish();
@@ -36,9 +32,7 @@ fn bench_construct_3d(c: &mut Criterion) {
     let pts: Vec<Point<3>> = uniform_points(2, n);
     g.bench_function("seq", |b| b.iter(|| SeqRangeTree::build(&pts).unwrap()));
     let machine = Machine::new(4).unwrap();
-    g.bench_function("dist_p4", |b| {
-        b.iter(|| DistRangeTree::<3>::build(&machine, &pts).unwrap())
-    });
+    g.bench_function("dist_p4", |b| b.iter(|| DistRangeTree::<3>::build(&machine, &pts).unwrap()));
     g.finish();
 }
 

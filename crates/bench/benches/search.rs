@@ -15,9 +15,7 @@ fn bench_search(c: &mut Criterion) {
     let mut g = c.benchmark_group("search_count_batch");
     g.sample_size(10);
     let seq = SeqRangeTree::build(&pts).unwrap();
-    g.bench_function("seq", |b| {
-        b.iter(|| queries.iter().map(|q| seq.count(q)).sum::<u64>())
-    });
+    g.bench_function("seq", |b| b.iter(|| queries.iter().map(|q| seq.count(q)).sum::<u64>()));
     for &p in &[1usize, 2, 4, 8] {
         let machine = Machine::new(p).unwrap();
         let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();

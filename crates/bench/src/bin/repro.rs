@@ -66,11 +66,8 @@ fn fig1() {
         let (a, b) = heap::span(m, v);
         let lvl = heap::level(m, v);
         // Paper convention: 1-based segments, the last leaf degenerate.
-        let seg = if b == m {
-            format!("[{},{}]", a + 1, b)
-        } else {
-            format!("[{},{})", a + 1, b + 1)
-        };
+        let seg =
+            if b == m { format!("[{},{}]", a + 1, b) } else { format!("[{},{})", a + 1, b + 1) };
         by_level.entry(lvl).or_default().push(seg);
     }
     for (lvl, segs) in by_level.iter().rev() {
@@ -127,8 +124,7 @@ fn fig3() {
 /// Theorem 1: |H| = O(p log^(d-1) p) = O(s/p); |F_i| = O(s/p), balanced.
 fn t1() {
     let mut rows = Vec::new();
-    for &(n, d) in &[(1usize << 12, 2u32), (1 << 14, 2), (1 << 16, 2), (1 << 10, 3), (1 << 12, 3)]
-    {
+    for &(n, d) in &[(1usize << 12, 2u32), (1 << 14, 2), (1 << 16, 2), (1 << 10, 3), (1 << 12, 3)] {
         for &p in &[2usize, 4, 8, 16] {
             let machine = Machine::new(p).unwrap();
             let rep = match d {
@@ -243,7 +239,8 @@ fn t3() {
         let m = ranks.m();
         let share = m / p;
         let work: Vec<usize> = machine.run(|ctx| {
-            let state = construct(ctx, rpts[ctx.rank() * share..(ctx.rank() + 1) * share].to_vec(), m);
+            let state =
+                construct(ctx, rpts[ctx.rank() * share..(ctx.rank() + 1) * share].to_vec(), m);
             let mine: Vec<QueryRec<2>> =
                 rq.iter().filter(|(qid, _)| *qid as usize % p == ctx.rank()).copied().collect();
             let hat_work = mine.len();
@@ -363,13 +360,9 @@ fn b1() {
             let (rt, c1) = time_ms(|| queries.iter().map(|q| range.count(q)).sum::<u64>());
             let (kt, c2) = time_ms(|| queries.iter().map(|q| kd.count(q)).sum::<u64>());
             let (lt, c3) = time_ms(|| queries.iter().map(|q| layered.count(q)).sum::<u64>());
-            let (dt, c5) =
-                time_ms(|| queries.iter().map(|q| dominance.count(q)).sum::<u64>());
+            let (dt, c5) = time_ms(|| queries.iter().map(|q| dominance.count(q)).sum::<u64>());
             let (bt, c4) = time_ms(|| queries.iter().map(|q| brute.count(q)).sum::<u64>());
-            assert!(
-                c1 == c2 && c2 == c3 && c3 == c4 && c4 == c5,
-                "baselines disagree"
-            );
+            assert!(c1 == c2 && c2 == c3 && c3 == c4 && c4 == c5, "baselines disagree");
             rows.push(vec![
                 n.to_string(),
                 format!("{sel}"),
@@ -406,8 +399,7 @@ fn b2() {
         let (dist_q, _) = time_ms(|| dist.count_batch(&machine, &queries));
         let (repl_build, repl) = time_ms(|| ReplicatedRangeTree::build(p, &pts).unwrap());
         let (repl_q, _) = time_ms(|| repl.count_batch(&queries));
-        let dist_max_proc =
-            rep_struct.hat_nodes + rep_struct.forest_nodes.iter().max().unwrap();
+        let dist_max_proc = rep_struct.hat_nodes + rep_struct.forest_nodes.iter().max().unwrap();
         rows.push(vec![
             p.to_string(),
             dist_max_proc.to_string(),
@@ -460,11 +452,8 @@ fn a1() {
             machine.run(|ctx| {
                 let lo = ctx.rank() * share;
                 let state = construct(ctx, rpts[lo..lo + share].to_vec(), m);
-                let mine: Vec<QueryRec<2>> = rq
-                    .iter()
-                    .filter(|(qid, _)| *qid as usize % p == ctx.rank())
-                    .copied()
-                    .collect();
+                let mine: Vec<QueryRec<2>> =
+                    rq.iter().filter(|(qid, _)| *qid as usize % p == ctx.rank()).copied().collect();
                 let stage = hat_stage(&state, &mine);
                 let mut sels = Vec::new();
                 let mut work = 0usize;

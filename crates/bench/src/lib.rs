@@ -27,11 +27,7 @@ pub fn selectivity_queries<const D: usize>(
 }
 
 /// Hot-spot query batch (all queries in one small region).
-pub fn hotspot_queries<const D: usize>(
-    pts: &[Point<D>],
-    seed: u64,
-    count: usize,
-) -> Vec<Rect<D>> {
+pub fn hotspot_queries<const D: usize>(pts: &[Point<D>], seed: u64, count: usize) -> Vec<Rect<D>> {
     QueryWorkload::from_points(pts, seed)
         .queries(QueryDistribution::HotSpot { region: 0.03, fraction: 0.5 }, count)
 }
@@ -45,12 +41,7 @@ pub fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
 
 /// Render one table row with fixed-width columns.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
-    cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect::<Vec<_>>()
-        .join("  ")
+    cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")
 }
 
 /// Print a table: header + rows, with a rule. When the `DDRS_CSV_DIR`

@@ -73,8 +73,7 @@ mod tests {
     fn all_to_all_transposes() {
         let m = Machine::new(4).unwrap();
         let results = m.run(|ctx| {
-            let out: Vec<Vec<u64>> =
-                (0..4).map(|d| vec![(ctx.rank() * 4 + d) as u64]).collect();
+            let out: Vec<Vec<u64>> = (0..4).map(|d| vec![(ctx.rank() * 4 + d) as u64]).collect();
             ctx.all_to_all(out)
         });
         for (me, inbound) in results.iter().enumerate() {

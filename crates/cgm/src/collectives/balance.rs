@@ -140,11 +140,8 @@ impl Ctx<'_> {
         let mut cum_copies: u64 = 0;
         let mut pinned: Vec<u64> = vec![0; p];
         for (&rid, &d) in &demand {
-            let c = if total == 0 {
-                1
-            } else {
-                ((d * p as u64).div_ceil(total)).clamp(1, p as u64)
-            };
+            let c =
+                if total == 0 { 1 } else { ((d * p as u64).div_ceil(total)).clamp(1, p as u64) };
             let own = *owner.get(&rid).expect("demanded resource has an owner");
             let quota = d / c;
             let copy0 = if pinned[own] + quota <= 2 * share {
@@ -267,8 +264,7 @@ mod tests {
     #[test]
     fn hot_spot_resource_is_replicated_and_split() {
         // Every item demands resource 0, owned by rank 3.
-        let (rids, items, violations) =
-            run_balance(8, |_| 3, 1, |_| vec![0u64; 100]);
+        let (rids, items, violations) = run_balance(8, |_| 3, 1, |_| vec![0u64; 100]);
         assert_eq!(violations, 0);
         // Resource 0 must be copied to every processor except its owner
         // (rank 3 serves from the original)...
@@ -310,13 +306,18 @@ mod tests {
     #[test]
     fn skewed_two_resource_demand() {
         // 90% of demand on resource 0, 10% on resource 1.
-        let (_, items, violations) = run_balance(4, |rid| rid as usize, 2, |r| {
-            let mut v = vec![0u64; 90];
-            if r == 0 {
-                v.extend(vec![1u64; 40]);
-            }
-            v
-        });
+        let (_, items, violations) = run_balance(
+            4,
+            |rid| rid as usize,
+            2,
+            |r| {
+                let mut v = vec![0u64; 90];
+                if r == 0 {
+                    v.extend(vec![1u64; 40]);
+                }
+                v
+            },
+        );
         assert_eq!(violations, 0);
         let total: usize = items.iter().sum();
         assert_eq!(total, 4 * 90 + 40);

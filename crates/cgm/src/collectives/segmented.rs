@@ -64,10 +64,11 @@ impl Ctx<'_> {
         // run. Ship every *boundary-adjacent* run summary to the processor
         // holding the segment head. To find the owner we gather the first
         // and last segment ids of every processor.
-        let first_last: Vec<(u64, u64, bool)> = self.all_gather_one(match (runs.first(), runs.last()) {
-            (Some(f), Some(l)) => (f.0, l.0, true),
-            _ => (0, 0, false),
-        });
+        let first_last: Vec<(u64, u64, bool)> =
+            self.all_gather_one(match (runs.first(), runs.last()) {
+                (Some(f), Some(l)) => (f.0, l.0, true),
+                _ => (0, 0, false),
+            });
         // The owner of segment s = the lowest rank whose range contains s
         // and that actually starts the segment (i.e. its predecessor's last
         // id differs, or it is the first non-empty processor with that id).
@@ -96,10 +97,7 @@ impl Ctx<'_> {
             }
         }
         let inbound: Vec<(u64, V, u64)> = self.route(
-            outgoing
-                .into_iter()
-                .map(|(seg, v, dest)| (dest, (seg, v, me as u64)))
-                .collect(),
+            outgoing.into_iter().map(|(seg, v, dest)| (dest, (seg, v, me as u64))).collect(),
         );
         // Merge inbound partials into kept runs. Inbound arrives in source
         // rank order; all sources are higher ranks than us (their runs
@@ -126,11 +124,8 @@ mod tests {
     fn segmented_broadcast_ranges() {
         let m = Machine::new(4).unwrap();
         let outs = m.run(|ctx| {
-            let items = if ctx.rank() == 0 {
-                vec![(100u64, 0..3), (200u64, 2..4)]
-            } else {
-                Vec::new()
-            };
+            let items =
+                if ctx.rank() == 0 { vec![(100u64, 0..3), (200u64, 2..4)] } else { Vec::new() };
             ctx.segmented_broadcast(items)
         });
         assert_eq!(outs[0], vec![100]);
@@ -150,11 +145,8 @@ mod tests {
     fn segmented_fold_within_one_processor() {
         let m = Machine::new(2).unwrap();
         let outs = m.run(|ctx| {
-            let local: Vec<(u64, u64)> = if ctx.rank() == 0 {
-                vec![(1, 10), (1, 5), (2, 7)]
-            } else {
-                vec![(3, 1), (3, 1)]
-            };
+            let local: Vec<(u64, u64)> =
+                if ctx.rank() == 0 { vec![(1, 10), (1, 5), (2, 7)] } else { vec![(3, 1), (3, 1)] };
             ctx.segmented_fold(local, |a, b| a + b)
         });
         assert_eq!(outs[0], vec![(1, 15), (2, 7)]);

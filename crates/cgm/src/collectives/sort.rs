@@ -141,7 +141,11 @@ impl Ctx<'_> {
 mod tests {
     use crate::Machine;
 
-    fn check_global_sort(p: usize, per_proc: usize, gen: impl Fn(usize, usize) -> u64 + Sync + Copy) {
+    fn check_global_sort(
+        p: usize,
+        per_proc: usize,
+        gen: impl Fn(usize, usize) -> u64 + Sync + Copy,
+    ) {
         let m = Machine::new(p).unwrap();
         let outs = m.run(|ctx| {
             let data: Vec<u64> = (0..per_proc).map(|i| gen(ctx.rank(), i)).collect();
@@ -211,8 +215,7 @@ mod tests {
         let m = Machine::new(4).unwrap();
         let outs = m.run(|ctx| {
             // Globally ordered sequence living entirely on rank 2.
-            let data: Vec<u64> =
-                if ctx.rank() == 2 { (0..97).collect() } else { Vec::new() };
+            let data: Vec<u64> = if ctx.rank() == 2 { (0..97).collect() } else { Vec::new() };
             ctx.rebalance(data)
         });
         let flat: Vec<u64> = outs.iter().flatten().copied().collect();

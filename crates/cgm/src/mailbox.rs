@@ -22,10 +22,7 @@ pub(crate) struct Fabric {
 
 impl Fabric {
     pub(crate) fn new(p: usize) -> Self {
-        Fabric {
-            boxes: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
-            barrier: Barrier::new(p),
-        }
+        Fabric { boxes: (0..p).map(|_| Mutex::new(Vec::new())).collect(), barrier: Barrier::new(p) }
     }
 
     /// Deposit a message from `src` into the mailbox of `dst`.
@@ -49,9 +46,8 @@ impl Fabric {
         raw.sort_by_key(|(src, _)| *src);
         let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
         for (src, msg) in raw {
-            let typed = msg
-                .downcast::<Vec<T>>()
-                .expect("mailbox type mismatch: SPMD processors diverged");
+            let typed =
+                msg.downcast::<Vec<T>>().expect("mailbox type mismatch: SPMD processors diverged");
             debug_assert!(out[src].is_empty(), "duplicate message from one source in one round");
             out[src] = *typed;
         }

@@ -55,12 +55,8 @@ pub fn predict_construct(c: &CostParams) -> Prediction {
     let rounds_per_phase = 5;
     // The largest phase sorts n·log^(d-1) p records; each processor's
     // bucket share is 1/p of it (sample sort regularity).
-    let largest_phase =
-        (c.n as f64) * (c.log_p() as f64).powi(c.d as i32 - 1).max(1.0);
-    Prediction {
-        supersteps: rounds_per_phase * c.d,
-        max_volume: 2.0 * largest_phase / c.p as f64,
-    }
+    let largest_phase = (c.n as f64) * (c.log_p() as f64).powi(c.d as i32 - 1).max(1.0);
+    Prediction { supersteps: rounds_per_phase * c.d, max_volume: 2.0 * largest_phase / c.p as f64 }
 }
 
 /// Algorithm Search in associative-function / counting mode for a batch
@@ -77,10 +73,7 @@ pub fn predict_search(c: &CostParams, m_queries: usize) -> Prediction {
 /// weighted output routing; `k` output pairs land `⌈k/p⌉` per processor.
 pub fn predict_report(c: &CostParams, m_queries: usize, k: u64) -> Prediction {
     let search = predict_search(c, m_queries);
-    Prediction {
-        supersteps: 5,
-        max_volume: search.max_volume + (k as f64 / c.p as f64).ceil(),
-    }
+    Prediction { supersteps: 5, max_volume: search.max_volume + (k as f64 / c.p as f64).ceil() }
 }
 
 #[cfg(test)]

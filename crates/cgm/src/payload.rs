@@ -36,7 +36,23 @@ macro_rules! impl_payload_pod {
 }
 
 impl_payload_pod!(
-    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ()
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
 );
 
 impl<T: Payload, const N: usize> Payload for [T; N] {

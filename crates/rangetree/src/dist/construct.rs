@@ -1,0 +1,225 @@
+//! Algorithm Construct: build the distributed range tree in `d` phases,
+//! each a constant number of h-relations.
+//!
+//! Phase `j` receives the phase records `S^j` — one `(tree key, point)`
+//! pair for every point of every dimension-`j` segment tree whose hat
+//! part is non-trivial (`S^0` is the input itself, assigned to the
+//! primary tree) — and performs, per the paper:
+//!
+//! 1. **sort** `S^j` by `(tree, rank_j)`, so every tree's points are
+//!    contiguous and ordered (one sample all-gather + one bucket
+//!    exchange);
+//! 2. **scan**: all-gather the per-processor per-tree counts, from which
+//!    every processor derives — identically — each tree's total size,
+//!    its own offset inside each tree, and the global forest-id
+//!    numbering (trees in key order, groups of `g = n/p` in rank order);
+//! 3. **deal**: route every record to the home of its group,
+//!    `owner(fid) = fid mod p` — the round-robin deal of the forest;
+//! 4. locally build each received group's forest subtree (a
+//!    `(d-j)`-dimensional [`DimTree`] on `g` points, pads included so
+//!    sizes stay exact powers of two);
+//! 5. **summary broadcast**: all-gather per-group summaries `(interval,
+//!    real count, fid)`, from which every processor assembles the
+//!    identical hat replica for this dimension; then locally emit
+//!    `S^(j+1)` — each owned group's points, once per internal hat
+//!    ancestor of its leaf (the descendant structures of hat nodes).
+//!
+//! That is 5 supersteps per dimension (sample, sort, deal, scan,
+//! summary), `5d` in total — the constant-round bound of Corollary 1 —
+//! and the phase volumes `|S^j| = n log^j p` of the paper's Section 5
+//! caveat, recorded in [`ProcState::phase_records`].
+
+use std::collections::BTreeMap;
+
+use ddrs_cgm::{log2_exact, Ctx, Payload};
+
+use crate::dist::hat::{child_key, Hat, HatTree, ROOT_KEY};
+use crate::heap;
+use crate::point::RPoint;
+use crate::seq::DimTree;
+
+/// One forest element: a sequential range tree over one `n/p`-point
+/// group, starting at the dimension of the hat tree it hangs from.
+#[derive(Debug, Clone)]
+pub struct ForestEntry<const D: usize> {
+    /// The group's subtree: dimensions `start_dim..D` over `g` points
+    /// (pads included as trailing leaves).
+    pub tree: DimTree<D>,
+    /// Dimension of the hat tree this element is a leaf of.
+    pub start_dim: u8,
+    /// Path key of that hat tree.
+    pub key: u64,
+    /// Leaf position within that hat tree.
+    pub group: u32,
+}
+
+impl<const D: usize> Payload for ForestEntry<D> {
+    fn words(&self) -> u64 {
+        // Key/group/dim header plus the whole subtree payload — what a
+        // real machine would serialize when shipping a congestion copy.
+        2 + self.tree.payload_words()
+    }
+}
+
+/// Per-processor state of the distributed structure after Algorithm
+/// Construct: the (replicated) hat and this processor's forest shard.
+#[derive(Debug)]
+pub struct ProcState<const D: usize> {
+    /// The hat replica (identical on every processor).
+    pub hat: Hat,
+    /// Forest elements owned by this processor, by forest id
+    /// (`owner(fid) = fid mod p`).
+    pub forest: BTreeMap<u32, ForestEntry<D>>,
+    /// Global record volume `|S^j|` of each construction phase (identical
+    /// on every processor; the paper's Section 5 caveat quantities).
+    pub phase_records: Vec<u64>,
+    /// Padded global point count (a power of two).
+    pub m: usize,
+    /// Group size `g = m / p`.
+    pub g: usize,
+    /// Processor count.
+    pub p: usize,
+}
+
+/// Record of phase `j`: a point tagged with the key of the dimension-`j`
+/// tree it belongs to.
+type PhaseRec<const D: usize> = (u64, RPoint<D>);
+
+/// SPMD body of Algorithm Construct.
+///
+/// Every processor passes its `m/p`-point share of the rank-space input
+/// (any order) and the padded global size `m`; all processors must call
+/// with the same `m`. Returns this processor's [`ProcState`].
+///
+/// # Panics
+/// Panics if `m` is not a positive power of two divisible by `p`.
+pub fn construct<const D: usize>(
+    ctx: &mut Ctx<'_>,
+    local: Vec<RPoint<D>>,
+    m: usize,
+) -> ProcState<D> {
+    let p = ctx.p();
+    assert!(m.is_power_of_two(), "padded size must be a power of two");
+    assert!(m >= p && m.is_multiple_of(p), "padded size must be divisible by p");
+    let g = m / p;
+    let key_shift = log2_exact(p) + 1;
+
+    let mut hats: BTreeMap<u64, HatTree> = BTreeMap::new();
+    let mut forest: BTreeMap<u32, ForestEntry<D>> = BTreeMap::new();
+    let mut phase_records: Vec<u64> = Vec::with_capacity(D);
+    let mut next_fid: u32 = 0;
+
+    // S^0: every input point belongs to the primary tree.
+    let mut records: Vec<PhaseRec<D>> = local.into_iter().map(|pt| (ROOT_KEY, pt)).collect();
+
+    for j in 0..D {
+        // (1) Sort S^j by (tree, rank in dimension j). Ranks are unique
+        // within a tree, so the global order is fully determined.
+        let sorted = ctx.sort_by_key(records, move |(key, pt): &PhaseRec<D>| (*key, pt.ranks[j]));
+
+        // (2) Scan: per-tree local counts, all-gathered. Every processor
+        // derives the identical tree table: total sizes, own offsets,
+        // forest-id bases (trees in key order, phases consecutive).
+        let mut local_counts: Vec<(u64, u64)> = Vec::new();
+        for (key, _) in &sorted {
+            match local_counts.last_mut() {
+                Some((k, c)) if k == key => *c += 1,
+                _ => local_counts.push((*key, 1)),
+            }
+        }
+        let gathered = ctx.all_gather(local_counts);
+        let mut table: BTreeMap<u64, (u64, u64)> = BTreeMap::new(); // key -> (total, my_offset)
+        for (rank, counts) in gathered.iter().enumerate() {
+            for &(key, c) in counts {
+                let entry = table.entry(key).or_insert((0, 0));
+                entry.0 += c;
+                if rank < ctx.rank() {
+                    entry.1 += c;
+                }
+            }
+        }
+        phase_records.push(table.values().map(|&(total, _)| total).sum());
+        let mut bases: BTreeMap<u64, u32> = BTreeMap::new();
+        for (&key, &(total, _)) in &table {
+            debug_assert_eq!(total % g as u64, 0, "tree sizes are multiples of g");
+            bases.insert(key, next_fid);
+            next_fid += (total / g as u64) as u32;
+        }
+
+        // (3) Deal: route each record to its group's home processor.
+        let mut outgoing: Vec<(usize, (u64, u32, RPoint<D>))> = Vec::with_capacity(sorted.len());
+        let mut run: Option<(u64, u64)> = None; // (current tree, next global pos)
+        for (key, pt) in sorted {
+            let pos = match &mut run {
+                Some((k, pos)) if *k == key => {
+                    *pos += 1;
+                    *pos
+                }
+                _ => {
+                    let pos = table[&key].1;
+                    run = Some((key, pos));
+                    pos
+                }
+            };
+            let gidx = (pos / g as u64) as u32;
+            let fid = bases[&key] + gidx;
+            outgoing.push((fid as usize % p, (key, gidx, pt)));
+        }
+        let received = ctx.route(outgoing);
+
+        // (4) Build owned forest subtrees locally.
+        let mut groups: BTreeMap<(u64, u32), Vec<RPoint<D>>> = BTreeMap::new();
+        for (key, gidx, pt) in received {
+            groups.entry((key, gidx)).or_default().push(pt);
+        }
+        let mut summaries: Vec<(u64, u32, u32, u32, u32, u32)> = Vec::new();
+        let mut built: Vec<(u64, u32, u32)> = Vec::new(); // (key, gidx, fid)
+        for ((key, gidx), mut pts) in groups {
+            pts.sort_unstable_by_key(|pt| pt.ranks[j]);
+            debug_assert_eq!(pts.len(), g, "every group holds exactly g records");
+            let fid = bases[&key] + gidx;
+            let real = pts.iter().take_while(|pt| !pt.is_pad()).count();
+            let (lo, hi) =
+                if real == 0 { (u32::MAX, 0) } else { (pts[0].ranks[j], pts[real - 1].ranks[j]) };
+            summaries.push((key, gidx, fid, lo, hi, real as u32));
+            let tree = DimTree::build(j, pts);
+            forest.insert(fid, ForestEntry { tree, start_dim: j as u8, key, group: gidx });
+            built.push((key, gidx, fid));
+        }
+
+        // (5) Summary broadcast: assemble the dimension-j hat replica.
+        let all_summaries: Vec<(u64, u32, u32, u32, u32, u32)> =
+            ctx.all_gather(summaries).into_iter().flatten().collect();
+        for (&key, &(total, _)) in &table {
+            hats.insert(key, HatTree::empty(j as u8, (total / g as u64) as usize));
+        }
+        for (key, gidx, fid, lo, hi, cnt) in all_summaries {
+            hats.get_mut(&key).expect("summary for unknown tree").set_leaf(
+                gidx as usize,
+                fid,
+                lo,
+                hi,
+                cnt,
+            );
+        }
+        for &key in table.keys() {
+            hats.get_mut(&key).expect("table tree").fill_internal();
+        }
+
+        // Emit S^(j+1): each owned group's points, once per internal hat
+        // ancestor (the point sets of the descendant structures).
+        records = Vec::new();
+        if j + 1 < D {
+            for (key, gidx, fid) in built {
+                let nleaves = hats[&key].nleaves as usize;
+                let pts = &forest[&fid].tree.leaves;
+                for anc in heap::internal_ancestors(nleaves, gidx as usize) {
+                    let ck = child_key(key, anc, key_shift);
+                    records.extend(pts.iter().map(|pt| (ck, *pt)));
+                }
+            }
+        }
+    }
+
+    ProcState { hat: Hat { trees: hats, key_shift }, forest, phase_records, m, g, p }
+}

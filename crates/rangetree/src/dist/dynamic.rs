@@ -1,0 +1,248 @@
+//! Dynamization by the logarithmic method (Bentley–Saxe).
+//!
+//! Section 5 of the paper notes the range tree "is inherently static"
+//! and names a dynamic distributed structure as future work. The
+//! classical route — used here — is the logarithmic method: maintain a
+//! collection of static [`DistRangeTree`]s whose sizes follow a binary
+//! counter (level `i` holds at most `capacity · 2^i` points). An
+//! inserted batch cascades like a carry: it merges with occupied levels
+//! until it reaches one that can absorb the union, which is then rebuilt
+//! with Algorithm Construct. Decomposable queries (counting, semigroup
+//! aggregation, reporting) are answered by combining the per-level
+//! answers, costing one extra `O(log(n/capacity))` factor.
+//!
+//! Deletions rebuild the affected structure wholesale (the conservative
+//! choice: the semigroup aggregates have no inverses to subtract with),
+//! keeping every query mode exact.
+
+use std::collections::HashSet;
+
+use ddrs_cgm::Machine;
+
+use crate::dist::{BuildError, DistRangeTree};
+use crate::point::{Point, Rect, PAD_ID};
+use crate::semigroup::{comb_opt, Semigroup};
+
+struct Level<const D: usize> {
+    pts: Vec<Point<D>>,
+    tree: DistRangeTree<D>,
+}
+
+/// A dynamic distributed range tree: the logarithmic method over static
+/// [`DistRangeTree`]s.
+pub struct DynamicDistRangeTree<const D: usize> {
+    capacity: usize,
+    levels: Vec<Option<Level<D>>>,
+    ids: HashSet<u32>,
+}
+
+impl<const D: usize> DynamicDistRangeTree<D> {
+    /// An empty store whose smallest rebuild unit holds `capacity`
+    /// points (level `i` holds at most `capacity · 2^i`).
+    pub fn new(capacity: usize) -> Self {
+        DynamicDistRangeTree { capacity: capacity.max(1), levels: Vec::new(), ids: HashSet::new() }
+    }
+
+    /// Capacity of level `i`.
+    fn cap(&self, i: usize) -> usize {
+        self.capacity.saturating_mul(1usize << i.min(usize::BITS as usize - 2))
+    }
+
+    /// Place `carry` into the level structure, merging upward until a
+    /// level can absorb it, then rebuild that level's static tree.
+    fn place(&mut self, machine: &Machine, mut carry: Vec<Point<D>>) -> Result<(), BuildError> {
+        let mut i = 0;
+        loop {
+            while carry.len() > self.cap(i) {
+                i += 1;
+            }
+            if self.levels.len() <= i {
+                self.levels.resize_with(i + 1, || None);
+            }
+            match self.levels[i].take() {
+                None => {
+                    let tree = DistRangeTree::build(machine, &carry)?;
+                    self.levels[i] = Some(Level { pts: carry, tree });
+                    return Ok(());
+                }
+                Some(level) => carry.extend(level.pts),
+            }
+        }
+    }
+
+    /// Insert a batch of points (ids must be new and not the pad id).
+    pub fn insert_batch(&mut self, machine: &Machine, pts: &[Point<D>]) -> Result<(), BuildError> {
+        if pts.is_empty() {
+            return Ok(());
+        }
+        let mut batch_ids = HashSet::with_capacity(pts.len());
+        for p in pts {
+            if p.id == PAD_ID {
+                return Err(BuildError::ReservedId);
+            }
+            if self.ids.contains(&p.id) || !batch_ids.insert(p.id) {
+                return Err(BuildError::DuplicateId(p.id));
+            }
+        }
+        self.ids.extend(batch_ids);
+        self.place(machine, pts.to_vec())
+    }
+
+    /// Delete points by id (ids not present are ignored). The surviving
+    /// points are repacked and rebuilt, keeping every query mode exact.
+    pub fn delete_batch(&mut self, machine: &Machine, ids: &[u32]) -> Result<(), BuildError> {
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let dead: HashSet<u32> = ids.iter().copied().collect();
+        let mut live: Vec<Point<D>> = Vec::new();
+        for level in self.levels.drain(..).flatten() {
+            live.extend(level.pts.into_iter().filter(|p| !dead.contains(&p.id)));
+        }
+        self.ids.retain(|id| !dead.contains(id));
+        if live.is_empty() {
+            return Ok(());
+        }
+        self.place(machine, live)
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of non-empty levels (static trees queries fan out over).
+    pub fn occupied_levels(&self) -> usize {
+        self.levels.iter().flatten().count()
+    }
+
+    /// Batched counting over all levels.
+    pub fn count_batch(&self, machine: &Machine, queries: &[Rect<D>]) -> Vec<u64> {
+        let mut out = vec![0u64; queries.len()];
+        for level in self.levels.iter().flatten() {
+            for (i, c) in level.tree.count_batch(machine, queries).into_iter().enumerate() {
+                out[i] += c;
+            }
+        }
+        out
+    }
+
+    /// Batched associative-function mode over all levels (query
+    /// decomposability of the semigroup fold).
+    pub fn aggregate_batch<S: Semigroup>(
+        &self,
+        machine: &Machine,
+        sg: S,
+        queries: &[Rect<D>],
+    ) -> Vec<Option<S::Val>> {
+        let mut out: Vec<Option<S::Val>> = vec![None; queries.len()];
+        for level in self.levels.iter().flatten() {
+            for (i, v) in level.tree.aggregate_batch(machine, sg, queries).into_iter().enumerate() {
+                out[i] = comb_opt(&sg, out[i].take(), v);
+            }
+        }
+        out
+    }
+
+    /// Batched report mode over all levels: matching ids per query,
+    /// ascending.
+    pub fn report_batch(&self, machine: &Machine, queries: &[Rect<D>]) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        for level in self.levels.iter().flatten() {
+            for (i, ids) in level.tree.report_batch(machine, queries).into_iter().enumerate() {
+                out[i].extend(ids);
+            }
+        }
+        for ids in &mut out {
+            ids.sort_unstable();
+        }
+        out
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for DynamicDistRangeTree<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let level_sizes: Vec<usize> =
+            self.levels.iter().map(|l| l.as_ref().map_or(0, |lv| lv.pts.len())).collect();
+        f.debug_struct("DynamicDistRangeTree")
+            .field("d", &D)
+            .field("points", &self.ids.len())
+            .field("capacity", &self.capacity)
+            .field("level_sizes", &level_sizes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(range: std::ops::Range<u32>) -> Vec<Point<2>> {
+        range.map(|i| Point::new([((i * 193) % 777) as i64, ((i * 71) % 555) as i64], i)).collect()
+    }
+
+    #[test]
+    fn binary_counter_levels() {
+        let machine = Machine::new(2).unwrap();
+        let mut t = DynamicDistRangeTree::<2>::new(8);
+        for wave in 0..4 {
+            t.insert_batch(&machine, &pts(wave * 8..wave * 8 + 8)).unwrap();
+        }
+        assert_eq!(t.len(), 32);
+        // 4 batches of exactly the base capacity: binary counter 100 →
+        // one occupied level of 32.
+        assert_eq!(t.occupied_levels(), 1);
+        t.insert_batch(&machine, &pts(100..104)).unwrap();
+        assert_eq!(t.occupied_levels(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_and_reserved_ids() {
+        let machine = Machine::new(2).unwrap();
+        let mut t = DynamicDistRangeTree::<2>::new(8);
+        t.insert_batch(&machine, &pts(0..4)).unwrap();
+        assert!(matches!(t.insert_batch(&machine, &pts(3..5)), Err(BuildError::DuplicateId(3))));
+        assert_eq!(t.len(), 4, "failed insert must not change the store");
+        let bad = vec![Point::<2>::new([0, 0], PAD_ID)];
+        assert!(matches!(t.insert_batch(&machine, &bad), Err(BuildError::ReservedId)));
+    }
+
+    #[test]
+    fn delete_then_query_all_modes() {
+        let machine = Machine::new(4).unwrap();
+        let mut t = DynamicDistRangeTree::<2>::new(16);
+        let all = pts(0..60);
+        t.insert_batch(&machine, &all).unwrap();
+        t.delete_batch(&machine, &[0, 5, 10, 59, 1000]).unwrap();
+        assert_eq!(t.len(), 56);
+        let q = Rect::new([0, 0], [800, 600]);
+        assert_eq!(t.count_batch(&machine, &[q])[0], 56);
+        let ids = t.report_batch(&machine, &[q]);
+        assert_eq!(ids[0].len(), 56);
+        assert!(!ids[0].contains(&5));
+        let sums = t.aggregate_batch(&machine, crate::semigroup::Sum, &[q]);
+        // Unit weights, so the sum equals the live count.
+        assert_eq!(sums[0], Some(56));
+        // Delete everything.
+        let rest: Vec<u32> = ids[0].clone();
+        t.delete_batch(&machine, &rest).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.count_batch(&machine, &[q]), vec![0]);
+        assert!(t.report_batch(&machine, &[q])[0].is_empty());
+    }
+
+    #[test]
+    fn empty_store_queries() {
+        let machine = Machine::new(2).unwrap();
+        let t = DynamicDistRangeTree::<2>::new(4);
+        let q = Rect::new([0, 0], [10, 10]);
+        assert_eq!(t.count_batch(&machine, &[q]), vec![0]);
+        assert_eq!(t.aggregate_batch(&machine, crate::semigroup::Sum, &[q]), vec![None]);
+        assert!(format!("{t:?}").contains("DynamicDistRangeTree"));
+    }
+}

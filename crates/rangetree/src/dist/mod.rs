@@ -1,0 +1,444 @@
+//! The distributed range tree of the paper: hat/forest decomposition on
+//! a `CGM(s, p)` machine, batched multisearch query modes, and the
+//! logarithmic-method dynamization.
+//!
+//! * [`hat`] — the replicated hat (top `log p` levels of every segment
+//!   tree) and its path-key addressing;
+//! * [`construct`] — Algorithm Construct: `5d` supersteps building the
+//!   hat replica and the round-robin-dealt forest of `n/p`-point
+//!   subtrees;
+//! * [`search`] — Algorithm Search: the 4-case hat multisearch, the
+//!   congestion-copy balancing, and the forest finishes;
+//! * [`DistRangeTree`] — the host-side handle tying it together:
+//!   [`count_batch`](DistRangeTree::count_batch),
+//!   [`aggregate_batch`](DistRangeTree::aggregate_batch) (the
+//!   associative-function mode) and
+//!   [`report_batch`](DistRangeTree::report_batch) /
+//!   [`report_batch_raw`](DistRangeTree::report_batch_raw) (report mode
+//!   with `⌈k/p⌉`-balanced output);
+//! * [`DynamicDistRangeTree`] — Section 5's future-work extension: the
+//!   logarithmic method (Bentley–Saxe) over static distributed trees.
+
+pub mod construct;
+pub mod dynamic;
+pub mod hat;
+pub mod search;
+
+use std::collections::HashMap;
+
+use ddrs_cgm::Machine;
+
+pub use construct::{construct as construct_spmd, ForestEntry, ProcState};
+pub use dynamic::DynamicDistRangeTree;
+pub use hat::ROOT_KEY;
+
+use crate::point::{Point, Rect};
+use crate::rank::{RankError, RankSpace};
+use crate::semigroup::{comb_opt, fold_points, Count, Semigroup};
+use crate::seq::{sel_fold, sel_report, AggCache};
+use search::{
+    balance_visits, balance_visits_report, fill_hat_values, hat_stage, report_visits, tree_for,
+    QueryRec,
+};
+
+/// Errors from distributed range-tree construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The input point set is empty (the paper's structure is defined
+    /// over a non-empty normalized point set).
+    Empty,
+    /// Two input points share a record id.
+    DuplicateId(u32),
+    /// A point uses the id reserved for sentinel pads.
+    ReservedId,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Empty => write!(f, "cannot build over an empty point set"),
+            BuildError::DuplicateId(id) => write!(f, "duplicate point id {id}"),
+            BuildError::ReservedId => {
+                write!(f, "point id {} is reserved for pads", crate::point::PAD_ID)
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<RankError> for BuildError {
+    fn from(e: RankError) -> Self {
+        match e {
+            RankError::Empty => BuildError::Empty,
+            RankError::DuplicateId(id) => BuildError::DuplicateId(id),
+            RankError::ReservedId => BuildError::ReservedId,
+        }
+    }
+}
+
+/// Structural measurements of a built distributed tree (Theorem 1's
+/// quantities).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureReport {
+    /// Nodes in the replicated hat (counted once, not per replica).
+    pub hat_nodes: u64,
+    /// Per-processor forest-shard sizes in tree nodes.
+    pub forest_nodes: Vec<u64>,
+    /// Per-processor owned forest-tree counts.
+    pub forest_trees: Vec<usize>,
+    /// Total structure size `s`: hat plus all forest shards.
+    pub total_nodes: u64,
+    /// Number of real (non-pad) input points `n`.
+    pub real_points: u64,
+}
+
+/// The paper's distributed `d`-dimensional range tree on a simulated
+/// `CGM(s, p)` machine.
+///
+/// The handle owns one [`ProcState`] per simulated processor (each
+/// holding the identical hat replica plus its own forest shard) and the
+/// host-side rank space used to translate queries; every query method
+/// launches one SPMD program on the machine it is given, which must have
+/// the same `p` the tree was built with.
+pub struct DistRangeTree<const D: usize> {
+    ranks: RankSpace<D>,
+    states: Vec<ProcState<D>>,
+}
+
+impl<const D: usize> DistRangeTree<D> {
+    /// Algorithm Construct: build the distributed tree over `pts`.
+    ///
+    /// The input is normalized to rank space and padded to a power of two
+    /// divisible by `p`, each processor is dealt an `m/p`-point share,
+    /// and the SPMD construction runs in `5d` supersteps.
+    pub fn build(machine: &Machine, pts: &[Point<D>]) -> Result<Self, BuildError> {
+        let p = machine.p();
+        let ranks = RankSpace::build(pts, p)?;
+        let rpts = ranks.to_rpoints(pts);
+        let m = ranks.m();
+        let share = m / p;
+        let states = machine.run(|ctx| {
+            let lo = ctx.rank() * share;
+            construct::construct(ctx, rpts[lo..lo + share].to_vec(), m)
+        });
+        Ok(DistRangeTree { ranks, states })
+    }
+
+    fn assert_machine(&self, machine: &Machine) {
+        assert_eq!(
+            machine.p(),
+            self.states.len(),
+            "query machine size differs from the build machine"
+        );
+    }
+
+    /// Translate a query batch into dealt rank-space records.
+    fn translate_batch(&self, queries: &[Rect<D>]) -> Vec<QueryRec<D>> {
+        queries.iter().enumerate().map(|(i, q)| (i as u32, self.ranks.translate(q))).collect()
+    }
+
+    /// Batched counting: the number of points in each query box.
+    ///
+    /// Counting is the associative-function mode with the [`Count`]
+    /// semigroup; a query matching nothing counts 0.
+    pub fn count_batch(&self, machine: &Machine, queries: &[Rect<D>]) -> Vec<u64> {
+        self.aggregate_batch(machine, Count, queries).into_iter().map(|v| v.unwrap_or(0)).collect()
+    }
+
+    /// Batched associative-function mode (Algorithm AssociativeFunction):
+    /// `⊗` of `f(l)` over the points matching each query, `None` when a
+    /// query matches nothing.
+    ///
+    /// Eight supersteps regardless of `n`, `p` and the batch: one
+    /// value-fill all-gather (forest-root values → replicated hat
+    /// aggregates), three balancing rounds, a two-round sort of the
+    /// `(query, value)` partials and a two-round segmented fold.
+    pub fn aggregate_batch<S: Semigroup>(
+        &self,
+        machine: &Machine,
+        sg: S,
+        queries: &[Rect<D>],
+    ) -> Vec<Option<S::Val>> {
+        self.assert_machine(machine);
+        let p = machine.p();
+        let rqs = self.translate_batch(queries);
+        let per_rank: Vec<Vec<(u64, S::Val)>> = machine.run(|ctx| {
+            let state = &self.states[ctx.rank()];
+
+            // (1) Value fill: the final-dimension forest roots' folds,
+            // all-gathered, then combined bottom-up into the
+            // final-dimension hat trees. Only final-dimension hat trees
+            // resolve selections from values, so earlier phases' forest
+            // entries need no fold.
+            let root_vals: Vec<(u64, Option<S::Val>)> = state
+                .forest
+                .iter()
+                .filter(|(_, entry)| entry.start_dim as usize == D - 1)
+                .map(|(&fid, entry)| {
+                    let real = entry.tree.r as usize;
+                    let fold = fold_points(
+                        &sg,
+                        entry.tree.leaves[..real].iter().map(|pt| (pt.id, pt.weight)),
+                    );
+                    (fid as u64, fold)
+                })
+                .collect();
+            let roots: HashMap<u64, Option<S::Val>> =
+                ctx.all_gather(root_vals).into_iter().flatten().collect();
+            let hat_vals = fill_hat_values(state, &sg, &roots);
+
+            // (2) Hat stage over this processor's query share (local).
+            let mine: Vec<QueryRec<D>> =
+                rqs.iter().filter(|(qid, _)| *qid as usize % p == ctx.rank()).copied().collect();
+            let stage = hat_stage(state, &mine);
+            let mut pairs: Vec<(u64, S::Val)> = Vec::new();
+            for &(qid, (key, v)) in &stage.sels {
+                if let Some(val) = hat_vals[&key][v as usize].clone() {
+                    pairs.push((qid as u64, val));
+                }
+            }
+
+            // (3) Congestion balancing of the forest visits.
+            let (trees, items) = balance_visits(ctx, state, stage.visits);
+
+            // (4) Forest finishes (local), with the per-batch bottom-up
+            // value cache of Algorithm AssociativeFunction.
+            let mut cache: AggCache<S> = AggCache::new();
+            let mut sels = Vec::new();
+            for (fid, (qid, q)) in items {
+                sels.clear();
+                tree_for(&trees, state, fid).tree.search(&q, &mut sels);
+                let mut acc: Option<S::Val> = None;
+                for s in &sels {
+                    acc = comb_opt(&sg, acc, sel_fold(&sg, s, &mut cache));
+                }
+                if let Some(val) = acc {
+                    pairs.push((qid as u64, val));
+                }
+            }
+
+            // (5) Combine partials per query: sort by query id, then the
+            // segmented partial-sum collective.
+            let sorted = ctx.sort_by_key(pairs, |pair: &(u64, S::Val)| pair.0);
+            ctx.segmented_fold(sorted, |a, b| sg.comb(a, b))
+        });
+
+        let mut out: Vec<Option<S::Val>> = vec![None; queries.len()];
+        for (qid, val) in per_rank.into_iter().flatten() {
+            let slot = &mut out[qid as usize];
+            *slot = comb_opt(&sg, slot.take(), Some(val));
+        }
+        out
+    }
+
+    /// Batched report mode, returning the *per-processor output shares*:
+    /// `(query id, point id)` pairs, exactly `⌈k/p⌉`-balanced across
+    /// processors (Theorem 4's `O(k/p)` output term).
+    ///
+    /// Five supersteps: three balancing rounds plus the two-round
+    /// order-preserving redistribution of the output pairs.
+    pub fn report_batch_raw(&self, machine: &Machine, queries: &[Rect<D>]) -> Vec<Vec<(u32, u32)>> {
+        self.assert_machine(machine);
+        let p = machine.p();
+        let rqs = self.translate_batch(queries);
+        machine.run(|ctx| {
+            let state = &self.states[ctx.rank()];
+            let mine: Vec<QueryRec<D>> =
+                rqs.iter().filter(|(qid, _)| *qid as usize % p == ctx.rank()).copied().collect();
+            let visits = report_visits(state, &mine);
+            let (trees, items) = balance_visits_report(ctx, state, visits);
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            let mut sels = Vec::new();
+            let mut ids = Vec::new();
+            for (fid, (qid, q)) in items {
+                sels.clear();
+                ids.clear();
+                tree_for(&trees, state, fid).tree.search(&q, &mut sels);
+                for s in &sels {
+                    sel_report(s, &mut ids);
+                }
+                pairs.extend(ids.iter().map(|&id| (qid, id)));
+            }
+            ctx.rebalance(pairs)
+        })
+    }
+
+    /// Batched report mode, assembled per query: the ids of the matching
+    /// points, ascending.
+    pub fn report_batch(&self, machine: &Machine, queries: &[Rect<D>]) -> Vec<Vec<u32>> {
+        let shares = self.report_batch_raw(machine, queries);
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        for (qid, id) in shares.into_iter().flatten() {
+            out[qid as usize].push(id);
+        }
+        for ids in &mut out {
+            ids.sort_unstable();
+        }
+        out
+    }
+
+    /// Theorem 1's structural measurements.
+    pub fn structure_report(&self) -> StructureReport {
+        let hat_nodes: u64 =
+            self.states[0].hat.trees.values().map(|t| 2 * t.nleaves as u64 - 1).sum();
+        let forest_nodes: Vec<u64> = self
+            .states
+            .iter()
+            .map(|s| s.forest.values().map(|e| e.tree.size_nodes()).sum())
+            .collect();
+        let forest_trees: Vec<usize> = self.states.iter().map(|s| s.forest.len()).collect();
+        let total_nodes = hat_nodes + forest_nodes.iter().sum::<u64>();
+        StructureReport {
+            hat_nodes,
+            forest_nodes,
+            forest_trees,
+            total_nodes,
+            real_points: self.ranks.n() as u64,
+        }
+    }
+
+    /// Global record volumes `|S^j|` of the construction phases (the
+    /// Section 5 caveat: phase `j` sorts `n·log^j p` records, not `n`).
+    pub fn phase_records(&self) -> Vec<u64> {
+        self.states[0].phase_records.clone()
+    }
+
+    /// Per-processor states (structural access for experiments).
+    pub fn states(&self) -> &[ProcState<D>] {
+        &self.states
+    }
+
+    /// The rank space used for query translation.
+    pub fn ranks(&self) -> &RankSpace<D> {
+        &self.ranks
+    }
+
+    /// Processor count the tree was built for.
+    pub fn p(&self) -> usize {
+        self.states.len()
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for DistRangeTree<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let forest: usize = self.states.iter().map(|s| s.forest.len()).sum();
+        f.debug_struct("DistRangeTree")
+            .field("d", &D)
+            .field("n", &self.ranks.n())
+            .field("m", &self.ranks.m())
+            .field("p", &self.states.len())
+            .field("hat_trees", &self.states[0].hat.trees.len())
+            .field("forest_trees", &forest)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrs_cgm::log2_exact;
+
+    fn diagonal(n: u32) -> Vec<Point<2>> {
+        (0..n).map(|i| Point::new([i as i64, (n - i) as i64], i)).collect()
+    }
+
+    /// The hat of the primary tree has exactly `log2 p` levels: `p` group
+    /// leaves under a `log p`-deep heap.
+    #[test]
+    fn hat_depth_is_log_p() {
+        for p in [1usize, 2, 4, 8] {
+            let machine = Machine::new(p).unwrap();
+            let tree = DistRangeTree::<2>::build(&machine, &diagonal(257)).unwrap();
+            let primary = &tree.states()[0].hat.trees[&ROOT_KEY];
+            assert_eq!(primary.nleaves as usize, p, "p={p}");
+            assert_eq!(
+                log2_exact(primary.nleaves as usize),
+                log2_exact(p),
+                "hat depth must be log2(p) for p={p}"
+            );
+        }
+    }
+
+    /// Every forest subtree spans exactly `g = m/p` leaves — the `O(n/p)`
+    /// group size of Theorem 1.
+    #[test]
+    fn forest_trees_span_exactly_g() {
+        let p = 8;
+        let machine = Machine::new(p).unwrap();
+        let tree = DistRangeTree::<2>::build(&machine, &diagonal(300)).unwrap();
+        let g = tree.states()[0].g;
+        assert_eq!(g, tree.ranks().m() / p);
+        for state in tree.states() {
+            for entry in state.forest.values() {
+                assert_eq!(entry.tree.leaves.len(), g);
+            }
+        }
+    }
+
+    /// StructureReport totals: `real_points = n`, the phase-0 forest
+    /// partitions the input, and `total = hat + Σ shards`.
+    #[test]
+    fn structure_report_totals_match_n() {
+        let n = 443u32;
+        let machine = Machine::new(4).unwrap();
+        let tree = DistRangeTree::<2>::build(&machine, &diagonal(n)).unwrap();
+        let rep = tree.structure_report();
+        assert_eq!(rep.real_points, n as u64);
+        assert_eq!(rep.total_nodes, rep.hat_nodes + rep.forest_nodes.iter().sum::<u64>());
+        assert_eq!(rep.forest_trees.len(), 4);
+        assert_eq!(rep.forest_nodes.len(), 4);
+        // Real points across phase-0 forest trees partition the input.
+        let phase0_real: u64 = tree
+            .states()
+            .iter()
+            .flat_map(|s| s.forest.values())
+            .filter(|e| e.start_dim == 0)
+            .map(|e| e.tree.r as u64)
+            .sum();
+        assert_eq!(phase0_real, n as u64);
+    }
+
+    /// Hat node counts at the final dimension agree with brute force —
+    /// the replicated aggregates the counting mode reads.
+    #[test]
+    fn hat_counts_sum_to_n() {
+        let n = 200u32;
+        let machine = Machine::new(4).unwrap();
+        let tree = DistRangeTree::<2>::build(&machine, &diagonal(n)).unwrap();
+        let primary = &tree.states()[0].hat.trees[&ROOT_KEY];
+        assert_eq!(primary.cnt[1] as u64, n as u64);
+    }
+
+    #[test]
+    fn build_error_paths() {
+        let machine = Machine::new(4).unwrap();
+        assert!(matches!(DistRangeTree::<2>::build(&machine, &[]), Err(BuildError::Empty)));
+        let mut pts = diagonal(4);
+        pts[3].id = 0;
+        assert!(matches!(
+            DistRangeTree::<2>::build(&machine, &pts),
+            Err(BuildError::DuplicateId(0))
+        ));
+        let mut pts = diagonal(2);
+        pts[1].id = crate::point::PAD_ID;
+        assert!(matches!(DistRangeTree::<2>::build(&machine, &pts), Err(BuildError::ReservedId)));
+        // Error text is stable enough to match on.
+        assert!(BuildError::Empty.to_string().contains("empty"));
+    }
+
+    /// Degenerate (point) rectangles and inverted rectangles behave.
+    #[test]
+    fn degenerate_queries() {
+        let machine = Machine::new(4).unwrap();
+        let pts = diagonal(64);
+        let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+        let point_q = Rect::new([5, 59], [5, 59]); // exactly point 5
+        let inverted = Rect::new([9, 9], [3, 3]);
+        let counts = tree.count_batch(&machine, &[point_q, inverted]);
+        assert_eq!(counts, vec![1, 0]);
+        let reports = tree.report_batch(&machine, &[point_q, inverted]);
+        assert_eq!(reports[0], vec![5]);
+        assert!(reports[1].is_empty());
+    }
+}

@@ -114,10 +114,7 @@ mod tests {
         // Leaves of descendant(U): indices 4x + 0..4 at level 0.
         for leaf_pos in 0..4 {
             let l = PathLabel::of(&[(u, m_i), (crate::heap::leaf(m_v, leaf_pos), m_v)]);
-            assert_eq!(
-                l.pairs[1],
-                PathIndex { index: 4 * x + leaf_pos as u64, level: 0 }
-            );
+            assert_eq!(l.pairs[1], PathIndex { index: 4 * x + leaf_pos as u64, level: 0 });
         }
     }
 
@@ -152,9 +149,8 @@ mod tests {
         let mut tree_ids: HashSet<PathLabel> = HashSet::new();
         for v in 1..2 * m {
             let mv = 1usize << crate::heap::level(m, v);
-            let members: Vec<PathLabel> = (1..2 * mv)
-                .map(|w| PathLabel::of(&[(v, m), (w, mv)]).ancestor())
-                .collect();
+            let members: Vec<PathLabel> =
+                (1..2 * mv).map(|w| PathLabel::of(&[(v, m), (w, mv)]).ancestor()).collect();
             // All members agree...
             assert!(members.windows(2).all(|p| p[0] == p[1]));
             // ...and the id is new for this tree.

@@ -7,7 +7,7 @@
 //! every dimension. Queries are translated to inclusive rank intervals by
 //! binary search, so sentinel pads are unreachable by any query.
 
-use crate::point::{Point, RPoint, Rect, RRect, PAD_ID};
+use crate::point::{Point, RPoint, RRect, Rect, PAD_ID};
 
 /// The rank mapping for one input point set.
 ///
@@ -149,12 +149,10 @@ mod tests {
         assert_eq!(rp[0].ranks[0], 2);
         assert_eq!(rp[2].ranks[0], 3);
         let dup_ranks: Vec<u32> = vec![rp[1].ranks[0], rp[3].ranks[0]];
-        assert_eq!(dup_ranks, vec![0, 1]); // id 1 before id 3
+        // id 1 before id 3
+        assert_eq!(dup_ranks, vec![0, 1]);
         // Dimension 1 values 50,30,10,70 → ranks 2,1,0,3.
-        assert_eq!(
-            rp.iter().take(4).map(|p| p.ranks[1]).collect::<Vec<_>>(),
-            vec![2, 1, 0, 3]
-        );
+        assert_eq!(rp.iter().take(4).map(|p| p.ranks[1]).collect::<Vec<_>>(), vec![2, 1, 0, 3]);
     }
 
     #[test]

@@ -56,11 +56,7 @@ impl<S: Semigroup> AggCache<S> {
 
     /// Bottom-up `f` values for every node of `tree` (computed once per
     /// tree per batch).
-    pub fn values_for<const D: usize>(
-        &mut self,
-        sg: &S,
-        tree: &DimTree<D>,
-    ) -> &[Option<S::Val>] {
+    pub fn values_for<const D: usize>(&mut self, sg: &S, tree: &DimTree<D>) -> &[Option<S::Val>] {
         let key = tree as *const DimTree<D> as usize;
         self.map.entry(key).or_insert_with(|| {
             let m = tree.m as usize;

@@ -97,8 +97,7 @@ mod tests {
     use super::*;
 
     fn brute<const D: usize>(pts: &[Point<D>], q: &Rect<D>) -> Vec<u32> {
-        let mut ids: Vec<u32> =
-            pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+        let mut ids: Vec<u32> = pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
         ids.sort_unstable();
         ids
     }
@@ -119,8 +118,7 @@ mod tests {
     fn count_matches_brute_force_on_grid() {
         let pts = grid2(8);
         let t = SeqRangeTree::build(&pts).unwrap();
-        for (lo, hi) in [([0, 0], [7, 7]), ([2, 3], [5, 6]), ([4, 4], [4, 4]), ([6, 0], [7, 2])]
-        {
+        for (lo, hi) in [([0, 0], [7, 7]), ([2, 3], [5, 6]), ([4, 4], [4, 4]), ([6, 0], [7, 2])] {
             let q = Rect::new(lo, hi);
             assert_eq!(t.count(&q), brute(&pts, &q).len() as u64, "query {q:?}");
         }
@@ -138,10 +136,7 @@ mod tests {
             .collect();
         let t = SeqRangeTree::build(&pts).unwrap();
         for s in 0..20i64 {
-            let q = Rect::new(
-                [s * 3, s * 2, s],
-                [s * 3 + 40, s * 2 + 50, s + 60],
-            );
+            let q = Rect::new([s * 3, s * 2, s], [s * 3 + 40, s * 2 + 50, s + 60]);
             assert_eq!(t.report(&q), brute(&pts, &q), "query {q:?}");
         }
     }
@@ -178,8 +173,7 @@ mod tests {
 
     #[test]
     fn duplicate_coordinates_are_all_found() {
-        let pts: Vec<Point<2>> =
-            (0..16).map(|i| Point::new([(i / 4) as i64, 0], i)).collect();
+        let pts: Vec<Point<2>> = (0..16).map(|i| Point::new([(i / 4) as i64, 0], i)).collect();
         let t = SeqRangeTree::build(&pts).unwrap();
         assert_eq!(t.count(&Rect::new([1, 0], [2, 0])), 8);
         assert_eq!(t.report(&Rect::new([1, 0], [1, 0])).len(), 4);

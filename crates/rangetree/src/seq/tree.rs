@@ -142,23 +142,13 @@ impl<const D: usize> DimTree<D> {
     /// Total node count over all dimensions (the memory measure `s`).
     pub fn size_nodes(&self) -> u64 {
         let own = (2 * self.m - 1) as u64;
-        own + self
-            .desc
-            .iter()
-            .filter_map(|d| d.as_deref())
-            .map(DimTree::size_nodes)
-            .sum::<u64>()
+        own + self.desc.iter().filter_map(|d| d.as_deref()).map(DimTree::size_nodes).sum::<u64>()
     }
 
     /// Approximate transfer size in words: leaves plus descendant trees.
     pub fn payload_words(&self) -> u64 {
         let own = 2 + self.leaves.len() as u64 * ddrs_cgm::shallow_words::<RPoint<D>>();
-        own + self
-            .desc
-            .iter()
-            .filter_map(|d| d.as_deref())
-            .map(DimTree::payload_words)
-            .sum::<u64>()
+        own + self.desc.iter().filter_map(|d| d.as_deref()).map(DimTree::payload_words).sum::<u64>()
     }
 }
 

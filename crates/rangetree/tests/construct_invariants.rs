@@ -93,11 +93,7 @@ fn forest_ids_cover_and_locate() {
             referenced.insert(t.leaf_forest[i]);
         }
     }
-    assert_eq!(
-        referenced.len(),
-        owned.len(),
-        "hat references and held trees disagree"
-    );
+    assert_eq!(referenced.len(), owned.len(), "hat references and held trees disagree");
     for fid in referenced {
         assert!(owned.contains_key(&fid), "referenced tree {fid} not held anywhere");
     }

@@ -68,8 +68,7 @@ fn ids_via_stages(p: usize, pts: &[Point<2>], queries: &[Rect<2>]) -> Vec<Vec<u3
     // Verify hat counts + forest ids == brute force per query.
     for (i, q) in queries.iter().enumerate() {
         let brute: Vec<u32> = {
-            let mut v: Vec<u32> =
-                pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+            let mut v: Vec<u32> = pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
             v.sort_unstable();
             v
         };

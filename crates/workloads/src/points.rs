@@ -85,10 +85,8 @@ impl WorkloadBuilder {
                     let mut c = [0i64; D];
                     for (j, x) in c.iter_mut().enumerate() {
                         // Sum of three uniforms ≈ bell-shaped.
-                        let noise: i64 = (0..3)
-                            .map(|_| rng.random_range(-spread..=spread))
-                            .sum::<i64>()
-                            / 3;
+                        let noise: i64 =
+                            (0..3).map(|_| rng.random_range(-spread..=spread)).sum::<i64>() / 3;
                         *x = (centre[j] + noise).clamp(0, side - 1);
                     }
                     out.push(Point::weighted(c, id as u32, rng.random_range(1..=100)));
@@ -105,17 +103,9 @@ impl WorkloadBuilder {
                     if rem > 0 || out.len() >= self.n {
                         break 'outer;
                     }
-                    out.push(Point::weighted(
-                        c,
-                        out.len() as u32,
-                        rng.random_range(1..=100),
-                    ));
+                    out.push(Point::weighted(c, out.len() as u32, rng.random_range(1..=100)));
                 }
-                assert!(
-                    out.len() == self.n,
-                    "grid side {side}^{D} too small for n={}",
-                    self.n
-                );
+                assert!(out.len() == self.n, "grid side {side}^{D} too small for n={}", self.n);
             }
             PointDistribution::Diagonal { side, jitter } => {
                 for id in 0..self.n {
@@ -138,9 +128,12 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let a = WorkloadBuilder::new(7, 100).points::<2>(PointDistribution::UniformCube { side: 1000 });
-        let b = WorkloadBuilder::new(7, 100).points::<2>(PointDistribution::UniformCube { side: 1000 });
-        let c = WorkloadBuilder::new(8, 100).points::<2>(PointDistribution::UniformCube { side: 1000 });
+        let a =
+            WorkloadBuilder::new(7, 100).points::<2>(PointDistribution::UniformCube { side: 1000 });
+        let b =
+            WorkloadBuilder::new(7, 100).points::<2>(PointDistribution::UniformCube { side: 1000 });
+        let c =
+            WorkloadBuilder::new(8, 100).points::<2>(PointDistribution::UniformCube { side: 1000 });
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

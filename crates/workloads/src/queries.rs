@@ -73,8 +73,7 @@ impl<const D: usize> QueryWorkload<D> {
                     let mut hi = [0i64; D];
                     for j in 0..D {
                         let w = ((extent(j) as f64) * side_frac).ceil() as i64;
-                        let start = self.lo[j]
-                            + rng.random_range(0..(extent(j) - w + 1).max(1));
+                        let start = self.lo[j] + rng.random_range(0..(extent(j) - w + 1).max(1));
                         lo[j] = start;
                         hi[j] = start + w - 1;
                     }
@@ -103,9 +102,7 @@ impl<const D: usize> QueryWorkload<D> {
                     let mut lo = self.lo;
                     let mut hi = self.hi;
                     let j = dim % D;
-                    let w = ((extent(j) as f64) * fraction.clamp(0.0, 1.0))
-                        .ceil()
-                        .max(1.0) as i64;
+                    let w = ((extent(j) as f64) * fraction.clamp(0.0, 1.0)).ceil().max(1.0) as i64;
                     let start = self.lo[j] + rng.random_range(0..(extent(j) - w + 1).max(1));
                     lo[j] = start;
                     hi[j] = start + w - 1;
@@ -135,15 +132,10 @@ mod tests {
         let (pts, w) = setup();
         for target in [0.01, 0.1, 0.4] {
             let qs = w.queries(QueryDistribution::Selectivity { fraction: target }, 50);
-            let mean: f64 = qs
-                .iter()
-                .map(|q| pts.iter().filter(|p| q.contains(p)).count() as f64)
-                .sum::<f64>()
-                / (qs.len() as f64 * pts.len() as f64);
-            assert!(
-                mean > target / 4.0 && mean < target * 4.0,
-                "target {target}, measured {mean}"
-            );
+            let mean: f64 =
+                qs.iter().map(|q| pts.iter().filter(|p| q.contains(p)).count() as f64).sum::<f64>()
+                    / (qs.len() as f64 * pts.len() as f64);
+            assert!(mean > target / 4.0 && mean < target * 4.0, "target {target}, measured {mean}");
         }
     }
 

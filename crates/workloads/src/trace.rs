@@ -46,14 +46,10 @@ impl CsvTable {
                 f.to_string()
             }
         };
-        let _ = writeln!(
-            out,
-            "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
-        );
+        let _ =
+            writeln!(out, "{}", self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
-            let _ =
-                writeln!(out, "{}", row.iter().map(|f| esc(f)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(out, "{}", row.iter().map(|f| esc(f)).collect::<Vec<_>>().join(","));
         }
         out
     }

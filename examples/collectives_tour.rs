@@ -20,8 +20,7 @@ fn main() {
 
     // Personalized all-to-all: processor i sends i*10+j to processor j.
     let transposed = machine.run(|ctx| {
-        let out: Vec<Vec<u64>> =
-            (0..ctx.p()).map(|j| vec![(ctx.rank() * 10 + j) as u64]).collect();
+        let out: Vec<Vec<u64>> = (0..ctx.p()).map(|j| vec![(ctx.rank() * 10 + j) as u64]).collect();
         ctx.all_to_all_flat(out)
     });
     println!("personalized all-to-all (row i = what processor i received):");
@@ -39,20 +38,14 @@ fn main() {
 
     // Global sort: skewed input, globally sorted balanced output.
     let sorted = machine.run(|ctx| {
-        let data: Vec<u64> = (0..(ctx.rank() + 1) * 3)
-            .map(|i| ((i * 37 + ctx.rank() * 11) % 50) as u64)
-            .collect();
+        let data: Vec<u64> =
+            (0..(ctx.rank() + 1) * 3).map(|i| ((i * 37 + ctx.rank() * 11) % 50) as u64).collect();
         ctx.sort_balanced_by_key(data, |x| *x)
     });
     println!(
         "global sort (balanced): shares {:?}, globally sorted: {}",
         sorted.iter().map(Vec::len).collect::<Vec<_>>(),
-        sorted
-            .iter()
-            .flatten()
-            .collect::<Vec<_>>()
-            .windows(2)
-            .all(|w| w[0] <= w[1])
+        sorted.iter().flatten().collect::<Vec<_>>().windows(2).all(|w| w[0] <= w[1])
     );
 
     // Segmented broadcast: item 42 to processors 1..3.
@@ -65,11 +58,8 @@ fn main() {
     // Load balancing with resource replication: a hot resource gets
     // copied, its demand split.
     let balanced = machine.run(|ctx| {
-        let owned: Vec<(u64, String)> = if ctx.rank() == 0 {
-            vec![(7, "hot-tree".to_string())]
-        } else {
-            Vec::new()
-        };
+        let owned: Vec<(u64, String)> =
+            if ctx.rank() == 0 { vec![(7, "hot-tree".to_string())] } else { Vec::new() };
         let items: Vec<(u64, u64)> = vec![(7u64, ctx.rank() as u64); 10];
         let out = ctx.load_balance(&owned, items);
         (out.resources.len(), out.items.len())

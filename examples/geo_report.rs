@@ -22,18 +22,15 @@ fn main() {
     let machine = Machine::new(p).expect("machine");
 
     // 20k facilities clustered around 12 town centres on a 2^20 grid.
-    let pts: Vec<Point<2>> = WorkloadBuilder::new(2024, 20_000).points(
-        PointDistribution::Clusters { side: 1 << 20, k: 12, spread: 1 << 14 },
-    );
+    let pts: Vec<Point<2>> = WorkloadBuilder::new(2024, 20_000)
+        .points(PointDistribution::Clusters { side: 1 << 20, k: 12, spread: 1 << 14 });
     let tree = DistRangeTree::<2>::build(&machine, &pts).expect("build");
     machine.take_stats();
 
     // Viewports: a thousand small pans plus a few continent-scale views.
     let workload = QueryWorkload::from_points(&pts, 7);
-    let mut viewports =
-        workload.queries(QueryDistribution::Selectivity { fraction: 0.001 }, 1000);
-    viewports
-        .extend(workload.queries(QueryDistribution::Selectivity { fraction: 0.25 }, 4));
+    let mut viewports = workload.queries(QueryDistribution::Selectivity { fraction: 0.001 }, 1000);
+    viewports.extend(workload.queries(QueryDistribution::Selectivity { fraction: 0.25 }, 4));
 
     let shares = tree.report_batch_raw(&machine, &viewports);
     let stats = machine.take_stats();

@@ -43,18 +43,12 @@ fn main() {
     println!("  total structure s       = {s} nodes");
     println!("  hat (replicated)        = {} nodes", report.hat_nodes);
     println!("  s/p                     = {} nodes", s / p as u64);
-    assert!(
-        report.hat_nodes <= 4 * s / p as u64,
-        "Theorem 1(i): |H| = O(s/p) violated"
-    );
+    assert!(report.hat_nodes <= 4 * s / p as u64, "Theorem 1(i): |H| = O(s/p) violated");
     let max_shard = *report.forest_nodes.iter().max().unwrap();
     let min_shard = *report.forest_nodes.iter().min().unwrap();
     println!("  largest forest shard    = {max_shard} nodes");
     println!("  smallest forest shard   = {min_shard} nodes");
-    assert!(
-        max_shard <= 4 * s / p as u64,
-        "Theorem 1(ii): |F_i| = O(s/p) violated"
-    );
+    assert!(max_shard <= 4 * s / p as u64, "Theorem 1(ii): |F_i| = O(s/p) violated");
     println!();
     println!("Theorem 1 bounds hold ✓  (|H| ≤ O(s/p), every |F_i| ≤ O(s/p))");
 }

@@ -54,10 +54,7 @@ fn main() {
 
     // Report mode: the matching point ids themselves.
     let reports = tree.report_batch(&machine, &queries);
-    println!(
-        "reports: {:?} ids per query",
-        reports.iter().map(Vec::len).collect::<Vec<_>>()
-    );
+    println!("reports: {:?} ids per query", reports.iter().map(Vec::len).collect::<Vec<_>>());
     let q_stats = machine.take_stats();
     println!(
         "  queries: {} supersteps across 3 batches, max h {} words",

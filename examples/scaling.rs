@@ -16,8 +16,8 @@ use ddrs::workloads::{PointDistribution, QueryDistribution};
 
 fn main() {
     let n = 1 << 14;
-    let pts: Vec<Point<2>> = WorkloadBuilder::new(99, n)
-        .points(PointDistribution::UniformCube { side: 1 << 20 });
+    let pts: Vec<Point<2>> =
+        WorkloadBuilder::new(99, n).points(PointDistribution::UniformCube { side: 1 << 20 });
     let queries = QueryWorkload::from_points(&pts, 5)
         .queries(QueryDistribution::Selectivity { fraction: 0.001 }, n / 4);
 

@@ -46,8 +46,6 @@ pub mod prelude {
         BruteForce, KdTree, LayeredRangeTree2d, ReplicatedRangeTree, WeightedDominance2d,
     };
     pub use ddrs_cgm::{Machine, RunStats};
-    pub use ddrs_rangetree::{
-        Count, DistRangeTree, Point, Rect, SeqRangeTree, Sum,
-    };
+    pub use ddrs_rangetree::{Count, DistRangeTree, Point, Rect, SeqRangeTree, Sum};
     pub use ddrs_workloads::{PointDistribution, QueryWorkload, WorkloadBuilder};
 }

@@ -22,11 +22,7 @@ fn construct_supersteps_match_prediction_exactly() {
         DistRangeTree::<2>::build(&machine, &pts).unwrap();
         let measured = machine.take_stats();
         let predicted = predict_construct(&CostParams { p, n, d: 2 });
-        assert_eq!(
-            measured.supersteps(),
-            predicted.supersteps,
-            "construct rounds p={p} n={n}"
-        );
+        assert_eq!(measured.supersteps(), predicted.supersteps, "construct rounds p={p} n={n}");
     }
 }
 

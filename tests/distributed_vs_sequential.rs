@@ -25,8 +25,7 @@ fn check_all_modes<const D: usize>(p: usize, pts: Vec<Point<D>>, queries: Vec<Re
         assert_eq!(reports[i], seq.report(q), "dist vs seq report p={p} q={q:?}");
         assert_eq!(sums[i], oracle.sum_weights(q), "sum p={p} D={D} q={q:?}");
         assert_eq!(sums[i], seq.aggregate(&Sum, q), "dist vs seq sum p={p} q={q:?}");
-        let want_max =
-            oracle.points().iter().filter(|pt| q.contains(pt)).map(|pt| pt.weight).max();
+        let want_max = oracle.points().iter().filter(|pt| q.contains(pt)).map(|pt| pt.weight).max();
         assert_eq!(maxes[i], want_max, "max p={p} D={D} q={q:?}");
     }
 }
@@ -136,14 +135,12 @@ fn hotspot_queries_still_correct() {
 
 #[test]
 fn point_probes() {
-    let pts = WorkloadBuilder::new(8, 512)
-        .points::<2>(PointDistribution::UniformCube { side: 256 });
+    let pts =
+        WorkloadBuilder::new(8, 512).points::<2>(PointDistribution::UniformCube { side: 256 });
     // Probe actual points (guaranteed hits) and random spots.
     let mut qs: Vec<Rect<2>> =
         pts.iter().step_by(17).map(|p| Rect::new(p.coords, p.coords)).collect();
-    qs.extend(
-        QueryWorkload::from_points(&pts, 9).queries(QueryDistribution::PointProbe, 30),
-    );
+    qs.extend(QueryWorkload::from_points(&pts, 9).queries(QueryDistribution::PointProbe, 30));
     check_all_modes(4, pts, qs);
 }
 

@@ -11,8 +11,7 @@ fn check<const D: usize>(p: usize, pts: &[Point<D>], queries: &[Rect<D>]) {
     let counts = tree.count_batch(&machine, queries);
     let reports = tree.report_batch(&machine, queries);
     for (i, q) in queries.iter().enumerate() {
-        let mut want: Vec<u32> =
-            pts.iter().filter(|pt| q.contains(pt)).map(|pt| pt.id).collect();
+        let mut want: Vec<u32> = pts.iter().filter(|pt| q.contains(pt)).map(|pt| pt.id).collect();
         want.sort_unstable();
         assert_eq!(counts[i], want.len() as u64, "count {q:?}");
         assert_eq!(reports[i], want, "report {q:?}");
@@ -21,10 +20,32 @@ fn check<const D: usize>(p: usize, pts: &[Point<D>], queries: &[Rect<D>]) {
 }
 
 #[test]
+fn empty_point_set_is_a_build_error() {
+    use ddrs::rangetree::BuildError;
+    let machine = Machine::new(4).unwrap();
+    assert!(matches!(DistRangeTree::<2>::build(&machine, &[]), Err(BuildError::Empty)));
+    // Duplicate ids are rejected before any communication happens.
+    let dup = vec![Point::<2>::new([0, 0], 7), Point::new([1, 1], 7)];
+    assert!(matches!(DistRangeTree::<2>::build(&machine, &dup), Err(BuildError::DuplicateId(7))));
+}
+
+#[test]
+fn single_processor_machine() {
+    // p = 1: the hat degenerates to a single group leaf and the whole
+    // structure is one forest tree; every mode must still agree.
+    let pts: Vec<Point<2>> =
+        (0..100).map(|i| Point::new([(i * 13 % 47) as i64, (i * 29 % 53) as i64], i)).collect();
+    check(
+        1,
+        &pts,
+        &[Rect::new([0, 0], [46, 52]), Rect::new([10, 10], [20, 20]), Rect::new([5, 5], [5, 5])],
+    );
+}
+
+#[test]
 fn negative_coordinates() {
-    let pts: Vec<Point<2>> = (0..200)
-        .map(|i| Point::new([-1000 + i as i64 * 7, 500 - i as i64 * 5], i))
-        .collect();
+    let pts: Vec<Point<2>> =
+        (0..200).map(|i| Point::new([-1000 + i as i64 * 7, 500 - i as i64 * 5], i)).collect();
     check(
         4,
         &pts,
@@ -59,11 +80,7 @@ fn extreme_coordinate_magnitudes() {
 #[test]
 fn single_point_many_processors() {
     let pts = vec![Point::new([42, 42], 0)];
-    check(
-        8,
-        &pts,
-        &[Rect::new([42, 42], [42, 42]), Rect::new([0, 0], [41, 41])],
-    );
+    check(8, &pts, &[Rect::new([42, 42], [42, 42]), Rect::new([0, 0], [41, 41])]);
 }
 
 #[test]
@@ -72,11 +89,7 @@ fn all_points_identical() {
     check(
         4,
         &pts,
-        &[
-            Rect::new([7, 7], [7, 7]),
-            Rect::new([6, 6], [8, 8]),
-            Rect::new([8, 8], [9, 9]),
-        ],
+        &[Rect::new([7, 7], [7, 7]), Rect::new([6, 6], [8, 8]), Rect::new([8, 8], [9, 9])],
     );
 }
 
@@ -85,12 +98,7 @@ fn four_dimensions() {
     let pts: Vec<Point<4>> = (0..128u32)
         .map(|i| {
             Point::new(
-                [
-                    (i % 4) as i64,
-                    ((i / 4) % 4) as i64,
-                    ((i / 16) % 4) as i64,
-                    (i / 64) as i64,
-                ],
+                [(i % 4) as i64, ((i / 4) % 4) as i64, ((i / 16) % 4) as i64, (i / 64) as i64],
                 i,
             )
         })
@@ -165,8 +173,7 @@ fn dynamic_tree_integration() {
     let q = Rect::new([100, 100], [600, 400]);
     let want: u64 = live.iter().filter(|p| q.contains(p)).count() as u64;
     assert_eq!(t.count_batch(&machine, &[q])[0], want);
-    let mut want_ids: Vec<u32> =
-        live.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+    let mut want_ids: Vec<u32> = live.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
     want_ids.sort_unstable();
     assert_eq!(t.report_batch(&machine, &[q])[0], want_ids);
 }

@@ -16,9 +16,8 @@ fn arb_points(max_n: usize, side: i64) -> impl Strategy<Value = Vec<Point<2>>> {
 }
 
 fn arb_query(side: i64) -> impl Strategy<Value = Rect<2>> {
-    (0..side, 0..side, 0..side, 0..side).prop_map(|(a, b, c, d)| {
-        Rect::new([a.min(b), c.min(d)], [a.max(b), c.max(d)])
-    })
+    (0..side, 0..side, 0..side, 0..side)
+        .prop_map(|(a, b, c, d)| Rect::new([a.min(b), c.min(d)], [a.max(b), c.max(d)]))
 }
 
 proptest! {

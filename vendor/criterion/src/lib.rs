@@ -1,0 +1,164 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the surface the workspace's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! median-of-samples wall-clock report instead of Criterion's full
+//! statistical machinery. Sample counts are kept deliberately small so
+//! `cargo bench` finishes quickly on simulator-scale workloads.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevent the optimiser from discarding a value (identity function at
+/// `-O`; good enough for the coarse timings this shim reports).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter rendered into the label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    elapsed_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Run `routine` `samples` times and record per-run wall-clock.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let out = routine();
+            self.elapsed_ns.push(t0.elapsed().as_nanos());
+            drop(black_box(out));
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    fn run(&mut self, label: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { samples: self.samples, elapsed_ns: Vec::new() };
+        f(&mut b);
+        let mut ns = b.elapsed_ns;
+        ns.sort_unstable();
+        let median = ns.get(ns.len() / 2).copied().unwrap_or(0);
+        println!(
+            "{}/{}: median {:.3} ms over {} samples",
+            self.name,
+            label,
+            median as f64 / 1e6,
+            ns.len()
+        );
+    }
+
+    /// Benchmark a routine under `id`.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) {
+        self.run(id.to_string(), f);
+    }
+
+    /// Benchmark a routine that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(id.to_string(), |b| f(b, input));
+    }
+
+    /// End the group (report-only in this shim).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark manager.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group. The shim defaults to 3 samples;
+    /// groups can raise it with [`BenchmarkGroup::sample_size`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), samples: 3 }
+    }
+
+    /// Benchmark a standalone routine.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        let mut runs = 0;
+        g.bench_function("noop", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("with", 4), &4u64, |b, &x| b.iter(|| black_box(x * 2)));
+        g.finish();
+        assert_eq!(runs, 2);
+    }
+}

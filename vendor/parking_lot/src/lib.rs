@@ -1,0 +1,52 @@
+//! Offline shim for the `parking_lot` crate.
+//!
+//! The build environment has no access to a crate registry, so this
+//! workspace vendors the tiny subset of the `parking_lot` API it uses —
+//! a [`Mutex`] whose `lock` returns the guard directly (no poison
+//! `Result`) — implemented over `std::sync::Mutex`. Poisoned locks are
+//! recovered rather than propagated, matching `parking_lot` semantics
+//! closely enough for the simulator's bookkeeping structures.
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion primitive with `parking_lot`'s panic-free `lock`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, blocking until it is available. Unlike
+    /// `std::sync::Mutex::lock`, never returns a poison error: a
+    /// poisoned lock is recovered (the data is still returned).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(7);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 8);
+    }
+
+    #[test]
+    fn default_is_default() {
+        let m: Mutex<Vec<u64>> = Mutex::default();
+        assert!(m.lock().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline shim for the `rand` crate (0.9-style API surface).
+//!
+//! The workspace's workload generators only need a seeded, deterministic
+//! uniform generator over integer ranges. This shim provides
+//! [`rngs::StdRng`] (a splitmix64 core — excellent equidistribution for
+//! workload generation, no cryptographic claims), [`SeedableRng`] and the
+//! [`Rng::random_range`] method over half-open and inclusive integer
+//! ranges. Streams differ from the real `rand` crate's `StdRng` — callers
+//! only rely on determinism per seed, not on specific values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can construct themselves from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A source of pseudo-random `u64`s with range sampling.
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(&mut || self.next_u64())
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one sample using the provided raw-`u64` source.
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "cannot sample empty range");
+                let r = (next() as i128).rem_euclid(span);
+                (self.start as i128 + r) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi - lo + 1;
+                let r = (next() as i128).rem_euclid(span);
+                (lo + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Pseudo-random generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The shim's standard generator: splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let mut c = StdRng::seed_from_u64(6);
+        let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: i64 = rng.random_range(-50..50);
+            assert!((-50..50).contains(&x));
+            let y: u64 = rng.random_range(1..=100);
+            assert!((1..=100).contains(&y));
+            let z: usize = rng.random_range(0..7);
+            assert!(z < 7);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[rng.random_range(0..10usize)] += 1;
+        }
+        assert!(buckets.iter().all(|&b| b > 800 && b < 1200), "{buckets:?}");
+    }
+}
