@@ -57,16 +57,14 @@ impl Ctx<'_> {
         W: Payload,
     {
         let ids: Vec<u64> = owned.iter().map(|(rid, _)| *rid).collect();
+        // Index the owned resources once: resolving each demanded shard
+        // with a linear scan is quadratic when many owned shards are
+        // demanded.
+        let index: BTreeMap<u64, &R> = owned.iter().map(|(rid, r)| (*rid, r)).collect();
         let weighted = items.into_iter().map(|(rid, w)| (rid, w, 1)).collect();
         self.load_balance_weighted_with(
             &ids,
-            |rid| {
-                owned
-                    .iter()
-                    .find(|(o, _)| *o == rid)
-                    .map(|(_, r)| r.clone())
-                    .expect("owned resource")
-            },
+            |rid| (*index.get(&rid).expect("owned resource")).clone(),
             weighted,
         )
     }

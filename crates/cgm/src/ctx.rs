@@ -1,7 +1,5 @@
 //! Per-processor execution context.
 
-use std::sync::Arc;
-
 use crate::mailbox::Fabric;
 use crate::payload::{slice_words, Payload};
 use crate::stats::StatsCollector;
@@ -10,14 +8,16 @@ use crate::stats::StatsCollector;
 ///
 /// All communication flows through the collective methods (defined here and
 /// in [`crate::collectives`]); each collective is one superstep and is
-/// metered as one h-relation.
+/// metered as one h-relation. The fabric and stats collector are borrowed
+/// from the owning [`Machine`](crate::Machine) — contexts are cheap,
+/// per-run values with no shared-ownership bookkeeping.
 ///
 /// [`Machine::run`]: crate::Machine::run
 pub struct Ctx<'a> {
     rank: usize,
     p: usize,
     fabric: &'a Fabric,
-    collector: Arc<StatsCollector>,
+    collector: &'a StatsCollector,
     round: usize,
 }
 
@@ -26,7 +26,7 @@ impl<'a> Ctx<'a> {
         rank: usize,
         p: usize,
         fabric: &'a Fabric,
-        collector: Arc<StatsCollector>,
+        collector: &'a StatsCollector,
     ) -> Self {
         Ctx { rank, p, fabric, collector, round: 0 }
     }

@@ -10,6 +10,20 @@ pub enum CgmError {
     NoProcessors,
     /// An input violated a precondition of a collective or algorithm.
     Precondition(String),
+    /// A simulated processor panicked while executing an SPMD program.
+    ///
+    /// Returned by [`Machine::try_run`](crate::Machine::try_run). The
+    /// fabric is cancelled (sibling processors blocked in a collective
+    /// are released) and reset, so the machine stays usable for
+    /// subsequent runs. `rank` is the lowest-ranked processor whose
+    /// panic originated the failure (not one unwound by cancellation)
+    /// and `payload` is its panic message.
+    ProcessorPanicked {
+        /// Rank of the processor whose panic caused the failure.
+        rank: usize,
+        /// The panic message (or a placeholder for non-string payloads).
+        payload: String,
+    },
 }
 
 impl fmt::Display for CgmError {
@@ -20,6 +34,9 @@ impl fmt::Display for CgmError {
             }
             CgmError::NoProcessors => write!(f, "processor count must be at least 1"),
             CgmError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+            CgmError::ProcessorPanicked { rank, payload } => {
+                write!(f, "simulated processor panicked: rank {rank}: {payload}")
+            }
         }
     }
 }

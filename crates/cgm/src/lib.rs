@@ -24,6 +24,18 @@
 //! collective, and the total traffic. The experiment harness uses these to
 //! verify the "constant number of h-relations with h = s/p" corollaries.
 //!
+//! ## The persistent executor
+//!
+//! A [`Machine`] owns a pool of `p` rank-pinned worker threads and a
+//! persistent exchange fabric, both created once at [`Machine::new`] and
+//! reused by every run: submitting a program costs one pool wake-up, not
+//! `p` OS thread spawns, which matters when a service dispatches many
+//! small batches. [`Machine::try_run`] is the fallible entry point — a
+//! panicking processor cancels the fabric (no deadlocked siblings),
+//! yields [`CgmError::ProcessorPanicked`], and leaves the machine usable;
+//! [`Machine::run`] delegates to it and re-panics with the original
+//! message. See the docs on [`Machine`] for details.
+//!
 //! ## Example
 //!
 //! ```

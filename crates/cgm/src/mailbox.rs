@@ -6,23 +6,103 @@
 //! type-erased (`Box<dyn Any + Send>`) so a single mailbox array serves
 //! collectives of any element type; the drain side downcasts and sorts by
 //! source rank for determinism.
+//!
+//! The fabric is **persistent**: one instance lives inside
+//! [`Machine`](crate::Machine) for the machine's whole lifetime and is
+//! reused by every run. Its barrier is *cancellable* — when a simulated
+//! processor panics, [`Fabric::cancel`] releases every sibling blocked in
+//! [`Fabric::sync`] (they unwind with the [`FabricCancelled`] sentinel
+//! instead of deadlocking), and [`Fabric::reset`] restores the fabric to a
+//! clean state for the next run.
 
 use std::any::Any;
-use std::sync::Barrier;
+use std::sync::{Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 
 type AnyMsg = Box<dyn Any + Send>;
 
+/// Panic payload used to unwind processors out of a cancelled barrier.
+///
+/// When one simulated processor panics, its siblings may be blocked in a
+/// collective waiting for it; [`Fabric::cancel`] wakes them and they
+/// unwind carrying this sentinel. [`Machine::try_run`](crate::Machine::try_run)
+/// recognises the sentinel and reports only the *originating* panic.
+pub(crate) struct FabricCancelled;
+
+/// A reusable, cancellable rendezvous barrier (sense-reversing via a
+/// generation counter). `std::sync::Barrier` cannot be cancelled, which
+/// would leave sibling threads deadlocked when one SPMD processor
+/// panics mid-collective.
+struct CancellableBarrier {
+    state: StdMutex<BarrierState>,
+    cvar: Condvar,
+}
+
+#[derive(Default)]
+struct BarrierState {
+    count: usize,
+    generation: u64,
+    cancelled: bool,
+}
+
+impl CancellableBarrier {
+    fn new() -> Self {
+        CancellableBarrier { state: StdMutex::new(BarrierState::default()), cvar: Condvar::new() }
+    }
+
+    /// Wait for all `p` parties. Returns `Err(())` when the barrier was
+    /// cancelled (before or during the wait).
+    fn wait(&self, p: usize) -> Result<(), ()> {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.cancelled {
+            return Err(());
+        }
+        st.count += 1;
+        if st.count == p {
+            st.count = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.cancelled {
+            st = self.cvar.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if st.cancelled {
+            Err(())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn cancel(&self) {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.cancelled = true;
+        self.cvar.notify_all();
+    }
+
+    fn reset(&self) {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.count = 0;
+        st.cancelled = false;
+    }
+}
+
 /// The exchange fabric shared by all `p` simulated processors.
 pub(crate) struct Fabric {
     boxes: Vec<Mutex<Vec<(usize, AnyMsg)>>>,
-    barrier: Barrier,
+    barrier: CancellableBarrier,
+    p: usize,
 }
 
 impl Fabric {
     pub(crate) fn new(p: usize) -> Self {
-        Fabric { boxes: (0..p).map(|_| Mutex::new(Vec::new())).collect(), barrier: Barrier::new(p) }
+        Fabric {
+            boxes: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+            barrier: CancellableBarrier::new(),
+            p,
+        }
     }
 
     /// Deposit a message from `src` into the mailbox of `dst`.
@@ -31,8 +111,31 @@ impl Fabric {
     }
 
     /// Barrier synchronisation across all processors.
+    ///
+    /// # Panics
+    /// Panics with the [`FabricCancelled`] sentinel when the fabric has
+    /// been cancelled by a sibling processor's panic, unwinding this
+    /// processor out of the SPMD program instead of deadlocking it.
     pub(crate) fn sync(&self) {
-        self.barrier.wait();
+        if self.barrier.wait(self.p).is_err() {
+            std::panic::panic_any(FabricCancelled);
+        }
+    }
+
+    /// Release every processor blocked (now or later) in [`sync`](Fabric::sync).
+    /// Idempotent; called by the run harness when a processor panics.
+    pub(crate) fn cancel(&self) {
+        self.barrier.cancel();
+    }
+
+    /// Restore a clean state after a cancelled run: un-cancel the barrier
+    /// and drop any messages a half-finished superstep left behind. Must
+    /// only be called when no processor is inside a collective.
+    pub(crate) fn reset(&self) {
+        self.barrier.reset();
+        for b in &self.boxes {
+            b.lock().clear();
+        }
     }
 
     /// Drain the mailbox of `me`, returning one `Vec<T>` per source rank
@@ -79,6 +182,49 @@ mod tests {
                         assert_eq!(msgs, &vec![(src * 10 + me) as u64]);
                     }
                 });
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_rounds() {
+        let p = 3;
+        let fabric = Fabric::new(p);
+        thread::scope(|s| {
+            for _ in 0..p {
+                let fabric = &fabric;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        fabric.sync();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn cancel_releases_waiters_and_reset_restores() {
+        let p = 2;
+        let fabric = Fabric::new(p);
+        thread::scope(|s| {
+            let waiter = {
+                let fabric = &fabric;
+                s.spawn(move || {
+                    // Only one of two parties arrives; cancel must free it.
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fabric.sync()))
+                })
+            };
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            fabric.cancel();
+            let unwound = waiter.join().unwrap();
+            assert!(unwound.is_err(), "cancelled sync must unwind");
+        });
+        fabric.reset();
+        // After reset the barrier works again.
+        thread::scope(|s| {
+            for _ in 0..p {
+                let fabric = &fabric;
+                s.spawn(move || fabric.sync());
             }
         });
     }

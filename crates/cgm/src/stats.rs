@@ -75,6 +75,12 @@ impl RunStats {
 /// All `p` processors execute the same sequence of collectives, so the
 /// round index is a per-processor counter that stays in lock-step; each
 /// processor folds its own send/receive volume into the round's entry.
+///
+/// One collector lives inside the [`Machine`](crate::Machine) for its
+/// whole lifetime: each run's rounds are drained with
+/// [`take_rounds`](StatsCollector::take_rounds) (successful runs) or
+/// discarded with [`clear`](StatsCollector::clear) (failed runs), so no
+/// per-run allocation or `Arc` churn is needed.
 #[derive(Debug, Default)]
 pub(crate) struct StatsCollector {
     rounds: Mutex<Vec<RoundStat>>,
@@ -99,8 +105,15 @@ impl StatsCollector {
         r.total_words += sent;
     }
 
-    pub(crate) fn into_rounds(self) -> Vec<RoundStat> {
-        self.rounds.into_inner()
+    /// Drain the rounds collected since the last drain/clear.
+    pub(crate) fn take_rounds(&self) -> Vec<RoundStat> {
+        std::mem::take(&mut *self.rounds.lock())
+    }
+
+    /// Discard the rounds of a failed (cancelled) run: the partial,
+    /// possibly divergent measurements would only mislead.
+    pub(crate) fn clear(&self) {
+        self.rounds.lock().clear();
     }
 }
 
@@ -113,7 +126,8 @@ mod tests {
         let c = StatsCollector::new();
         c.record(0, "x", 10, 4);
         c.record(0, "x", 3, 12);
-        let rounds = c.into_rounds();
+        let rounds = c.take_rounds();
+        assert!(c.take_rounds().is_empty(), "take_rounds drains");
         assert_eq!(rounds.len(), 1);
         assert_eq!(rounds[0].max_sent_words, 10);
         assert_eq!(rounds[0].max_recv_words, 12);

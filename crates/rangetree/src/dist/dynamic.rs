@@ -9,7 +9,12 @@
 //! until it reaches one that can absorb the union, which is then rebuilt
 //! with Algorithm Construct. Decomposable queries (counting, semigroup
 //! aggregation, reporting) are answered by combining the per-level
-//! answers, costing one extra `O(log(n/capacity))` factor.
+//! answers, costing one extra `O(log(n/capacity))` factor of *local
+//! work* — but not of communication: every query mode plans all occupied
+//! levels into a single fused SPMD program
+//! ([`crate::dist::fused`]), so a batch costs exactly one
+//! [`Machine::run`] and a constant number of supersteps regardless of
+//! the level count.
 //!
 //! Deletions rebuild the affected structure wholesale (the conservative
 //! choice: the semigroup aggregates have no inverses to subtract with),
@@ -19,9 +24,10 @@ use std::collections::HashSet;
 
 use ddrs_cgm::Machine;
 
+use crate::dist::fused::fused_query_batch;
 use crate::dist::{BuildError, DistRangeTree};
 use crate::point::{Point, Rect, PAD_ID};
-use crate::semigroup::{comb_opt, Semigroup};
+use crate::semigroup::{Count, Semigroup};
 
 struct Level<const D: usize> {
     pts: Vec<Point<D>>,
@@ -121,47 +127,52 @@ impl<const D: usize> DynamicDistRangeTree<D> {
         self.levels.iter().flatten().count()
     }
 
-    /// Batched counting over all levels.
+    /// The occupied levels' static trees, smallest level first — the
+    /// "levels" slice the fused engine ([`fused_query_batch`]) fans a
+    /// batch over.
+    pub fn level_trees(&self) -> Vec<&DistRangeTree<D>> {
+        self.levels.iter().flatten().map(|level| &level.tree).collect()
+    }
+
+    /// Batched counting over all levels, fused into **one**
+    /// [`Machine::run`] regardless of how many levels are occupied (and
+    /// zero runs for an empty batch or an empty store).
     pub fn count_batch(&self, machine: &Machine, queries: &[Rect<D>]) -> Vec<u64> {
-        let mut out = vec![0u64; queries.len()];
-        for level in self.levels.iter().flatten() {
-            for (i, c) in level.tree.count_batch(machine, queries).into_iter().enumerate() {
-                out[i] += c;
-            }
-        }
-        out
+        fused_query_batch::<Count, D>(machine, &self.level_trees(), Count, queries, &[], &[]).counts
     }
 
     /// Batched associative-function mode over all levels (query
-    /// decomposability of the semigroup fold).
+    /// decomposability of the semigroup fold), fused into one
+    /// [`Machine::run`].
     pub fn aggregate_batch<S: Semigroup>(
         &self,
         machine: &Machine,
         sg: S,
         queries: &[Rect<D>],
     ) -> Vec<Option<S::Val>> {
-        let mut out: Vec<Option<S::Val>> = vec![None; queries.len()];
-        for level in self.levels.iter().flatten() {
-            for (i, v) in level.tree.aggregate_batch(machine, sg, queries).into_iter().enumerate() {
-                out[i] = comb_opt(&sg, out[i].take(), v);
-            }
-        }
-        out
+        fused_query_batch(machine, &self.level_trees(), sg, &[], queries, &[]).aggregates
     }
 
-    /// Batched report mode over all levels: matching ids per query,
-    /// ascending.
+    /// Batched report mode over all levels, fused into one
+    /// [`Machine::run`]: matching ids per query, ascending.
     pub fn report_batch(&self, machine: &Machine, queries: &[Rect<D>]) -> Vec<Vec<u32>> {
-        let mut out: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
-        for level in self.levels.iter().flatten() {
-            for (i, ids) in level.tree.report_batch(machine, queries).into_iter().enumerate() {
-                out[i].extend(ids);
-            }
-        }
-        for ids in &mut out {
-            ids.sort_unstable();
-        }
-        out
+        fused_query_batch::<Count, D>(machine, &self.level_trees(), Count, &[], &[], queries)
+            .reports
+    }
+
+    /// A heterogeneous count + aggregate + report batch over all levels
+    /// in a single machine submission — the dynamic store's native query
+    /// interface for mixed traffic (the `ddrs-engine` crate's
+    /// `QueryBatch` builds on this).
+    pub fn query_batch_fused<S: Semigroup>(
+        &self,
+        machine: &Machine,
+        sg: S,
+        counts: &[Rect<D>],
+        aggs: &[Rect<D>],
+        reports: &[Rect<D>],
+    ) -> crate::dist::fused::FusedOutputs<S> {
+        fused_query_batch(machine, &self.level_trees(), sg, counts, aggs, reports)
     }
 }
 
@@ -244,5 +255,50 @@ mod tests {
         assert_eq!(t.count_batch(&machine, &[q]), vec![0]);
         assert_eq!(t.aggregate_batch(&machine, crate::semigroup::Sum, &[q]), vec![None]);
         assert!(format!("{t:?}").contains("DynamicDistRangeTree"));
+    }
+
+    /// A mixed batch over `L` occupied levels is one `Machine::run` (the
+    /// per-level-per-mode dispatch used to cost `3·L`).
+    #[test]
+    fn mixed_batch_is_one_submission_across_levels() {
+        let machine = Machine::new(4).unwrap();
+        let mut t = DynamicDistRangeTree::<2>::new(8);
+        // Batches sized to leave three levels occupied (binary counter 111).
+        t.insert_batch(&machine, &pts(0..32)).unwrap();
+        t.insert_batch(&machine, &pts(100..116)).unwrap();
+        t.insert_batch(&machine, &pts(200..207)).unwrap();
+        assert_eq!(t.occupied_levels(), 3);
+        let qs = vec![Rect::new([0, 0], [800, 600]), Rect::new([100, 100], [300, 300])];
+        machine.take_stats();
+        let out = t.query_batch_fused(&machine, crate::semigroup::Sum, &qs, &qs, &qs);
+        let stats = machine.take_stats();
+        assert_eq!(stats.runs, 1, "mixed batch over 3 levels must be one run");
+        // And the fused answers agree with the per-mode fused paths.
+        assert_eq!(out.counts, t.count_batch(&machine, &qs));
+        assert_eq!(out.aggregates, t.aggregate_batch(&machine, crate::semigroup::Sum, &qs));
+        assert_eq!(out.reports, t.report_batch(&machine, &qs));
+        // Each per-mode call above was itself one run.
+        assert_eq!(machine.take_stats().runs, 3);
+    }
+
+    /// Empty and trivial batches must not pay any machine dispatch.
+    #[test]
+    fn trivial_batches_skip_the_machine() {
+        let machine = Machine::new(4).unwrap();
+        let mut t = DynamicDistRangeTree::<2>::new(8);
+        t.insert_batch(&machine, &pts(0..20)).unwrap();
+        machine.take_stats();
+        // Empty query batches against an occupied store…
+        assert!(t.count_batch(&machine, &[]).is_empty());
+        assert!(t.aggregate_batch(&machine, crate::semigroup::Sum, &[]).is_empty());
+        assert!(t.report_batch(&machine, &[]).is_empty());
+        // …and non-empty batches against an empty store.
+        let empty = DynamicDistRangeTree::<2>::new(8);
+        let q = Rect::new([0, 0], [10, 10]);
+        assert_eq!(empty.count_batch(&machine, &[q]), vec![0]);
+        assert_eq!(empty.report_batch(&machine, &[q]), vec![Vec::<u32>::new()]);
+        let stats = machine.take_stats();
+        assert_eq!(stats.supersteps(), 0, "trivial batches must not communicate");
+        assert_eq!(stats.runs, 0, "trivial batches must not dispatch");
     }
 }

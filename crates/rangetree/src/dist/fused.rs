@@ -1,0 +1,344 @@
+//! The fused mixed-mode query engine: one machine submission per batch.
+//!
+//! The paper's optimality claim is a *constant* number of communication
+//! rounds per query batch. The per-mode drivers in [`super`] honour that
+//! for a single static tree, but a heterogeneous workload against a
+//! [`DynamicDistRangeTree`](crate::DynamicDistRangeTree) with `L`
+//! occupied levels used to pay `3·L` full [`Machine::run`] submissions
+//! (one per logarithmic-method level per mode). This module plans *all*
+//! count, aggregate and report queries over *all* levels into a single
+//! SPMD program:
+//!
+//! 1. one all-gather fills the final-dimension hat aggregates of every
+//!    level at once (skipped when the batch has no aggregate queries —
+//!    counting reads the replicated `cnt` arrays directly);
+//! 2. the hat stages of every mode and level run locally; forest visits
+//!    are tagged with a *composite* resource id `(level << 32) | fid` so
+//!    one multisearch balancing round (three supersteps,
+//!    [`Ctx::load_balance_weighted_with`]) evens out the forest work of
+//!    the whole batch — report visits weighted by their group's output
+//!    volume, exactly as Algorithm Report prescribes;
+//! 3. count/aggregate partials from all levels share one global sort +
+//!    segmented fold; report pairs from all levels share one
+//!    order-preserving rebalance.
+//!
+//! Every stage that would be a no-op for the batch shape is skipped
+//! *uniformly* (the decision depends only on host-provided query counts,
+//! so SPMD superstep alignment is preserved). The result: a mixed batch
+//! costs at most 10 supersteps and exactly **one** run, independent of
+//! the number of levels and of the mode mix.
+//!
+//! [`Ctx::load_balance_weighted_with`]: ddrs_cgm::Ctx::load_balance_weighted_with
+
+use std::collections::{BTreeMap, HashMap};
+
+use ddrs_cgm::Machine;
+
+use crate::dist::construct::ForestEntry;
+use crate::dist::search::{fill_hat_values, group_weights, hat_stage, report_visits, QueryRec};
+use crate::dist::DistRangeTree;
+use crate::point::Rect;
+use crate::semigroup::{comb_opt, fold_points, Semigroup};
+use crate::seq::{sel_count, sel_fold, sel_report, AggCache};
+
+/// Results of one fused batch, per mode, in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedOutputs<S: Semigroup> {
+    /// One count per count query.
+    pub counts: Vec<u64>,
+    /// One fold per aggregate query (`None` when nothing matched).
+    pub aggregates: Vec<Option<S::Val>>,
+    /// Matching point ids per report query, ascending.
+    pub reports: Vec<Vec<u32>>,
+}
+
+/// Composite resource id: `(level, forest id)` packed so one balancing
+/// round can route visits of every level.
+#[inline]
+fn compose(level: usize, fid: u32) -> u64 {
+    ((level as u64) << 32) | fid as u64
+}
+
+/// Inverse of [`compose`].
+#[inline]
+fn decompose(cid: u64) -> (usize, u32) {
+    ((cid >> 32) as usize, cid as u32)
+}
+
+/// A count/aggregate partial: `(count part, aggregate part)`. Count
+/// queries only populate the left, aggregate queries only the right, so
+/// one sorted segmented fold combines both modes.
+type Partial<V> = (u64, Option<V>);
+
+/// Execute a heterogeneous count + aggregate + report batch against one
+/// or more static trees ("levels") in a **single** [`Machine::run`].
+///
+/// Query ids are assigned per mode in slice order; the returned
+/// [`FusedOutputs`] vectors are parallel to the input slices. Passing an
+/// empty `levels` slice (an empty dynamic store) or an all-empty batch
+/// returns immediately without submitting anything to the machine, so
+/// `stats.supersteps()` and `stats.runs` stay untouched.
+///
+/// All levels must have been built on a machine of the same `p`.
+pub fn fused_query_batch<S: Semigroup, const D: usize>(
+    machine: &Machine,
+    levels: &[&DistRangeTree<D>],
+    sg: S,
+    counts: &[Rect<D>],
+    aggs: &[Rect<D>],
+    reports: &[Rect<D>],
+) -> FusedOutputs<S> {
+    let (n_c, n_a, n_r) = (counts.len(), aggs.len(), reports.len());
+    let mut out = FusedOutputs {
+        counts: vec![0; n_c],
+        aggregates: vec![None; n_a],
+        reports: vec![Vec::new(); n_r],
+    };
+    if levels.is_empty() || n_c + n_a + n_r == 0 {
+        return out;
+    }
+    for t in levels {
+        t.assert_machine(machine);
+    }
+    let p = machine.p();
+    let has_agg = n_a > 0;
+    let has_ca = n_c + n_a > 0;
+    let has_r = n_r > 0;
+
+    // Per level: the count+aggregate records and the report records,
+    // translated into that level's rank space, under global query ids
+    // (count i → i, aggregate i → n_c + i, report i → n_c + n_a + i).
+    let rqs_ca: Vec<Vec<QueryRec<D>>> = levels
+        .iter()
+        .map(|t| {
+            counts
+                .iter()
+                .enumerate()
+                .map(|(i, q)| (i as u32, t.ranks.translate(q)))
+                .chain(
+                    aggs.iter().enumerate().map(|(i, q)| ((n_c + i) as u32, t.ranks.translate(q))),
+                )
+                .collect()
+        })
+        .collect();
+    let rqs_r: Vec<Vec<QueryRec<D>>> = levels
+        .iter()
+        .map(|t| {
+            reports
+                .iter()
+                .enumerate()
+                .map(|(i, q)| ((n_c + n_a + i) as u32, t.ranks.translate(q)))
+                .collect()
+        })
+        .collect();
+
+    type Share<V> = (Vec<(u64, Partial<V>)>, Vec<(u32, u32)>);
+    let per_rank: Vec<Share<S::Val>> = machine.run(|ctx| {
+        let me = ctx.rank();
+        let states: Vec<_> = levels.iter().map(|t| &t.states[me]).collect();
+
+        // (1) Value fill for the aggregate semigroup, all levels in one
+        // all-gather. Counting needs no fill: the hat's replicated `cnt`
+        // arrays already hold the Count folds.
+        let hat_vals: Vec<BTreeMap<u64, Vec<Option<S::Val>>>> = if has_agg {
+            let mut root_vals: Vec<(u64, Option<S::Val>)> = Vec::new();
+            for (li, state) in states.iter().enumerate() {
+                for (&fid, entry) in
+                    state.forest.iter().filter(|(_, e)| e.start_dim as usize == D - 1)
+                {
+                    let real = entry.tree.r as usize;
+                    let fold = fold_points(
+                        &sg,
+                        entry.tree.leaves[..real].iter().map(|pt| (pt.id, pt.weight)),
+                    );
+                    root_vals.push((compose(li, fid), fold));
+                }
+            }
+            let mut per_level: Vec<HashMap<u64, Option<S::Val>>> =
+                (0..levels.len()).map(|_| HashMap::new()).collect();
+            for (cid, v) in ctx.all_gather(root_vals).into_iter().flatten() {
+                let (li, fid) = decompose(cid);
+                per_level[li].insert(fid as u64, v);
+            }
+            states
+                .iter()
+                .zip(&per_level)
+                .map(|(state, roots)| fill_hat_values(state, &sg, roots))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // (2) Hat stages of every mode and level (local), emitting hat
+        // partials and composite-tagged forest visits.
+        let mut pairs: Vec<(u64, Partial<S::Val>)> = Vec::new();
+        let mut items: Vec<(u64, QueryRec<D>, u64)> = Vec::new();
+        for (li, state) in states.iter().enumerate() {
+            let mine_ca: Vec<QueryRec<D>> =
+                rqs_ca[li].iter().filter(|(qid, _)| *qid as usize % p == me).copied().collect();
+            let stage = hat_stage(state, &mine_ca);
+            for &(qid, (key, v)) in &stage.sels {
+                if (qid as usize) < n_c {
+                    pairs.push((qid as u64, (state.hat.trees[&key].cnt[v as usize] as u64, None)));
+                } else if let Some(val) = hat_vals[li][&key][v as usize].clone() {
+                    pairs.push((qid as u64, (0, Some(val))));
+                }
+            }
+            items.extend(
+                stage.visits.into_iter().map(|(fid, rec)| (compose(li, fid as u32), rec, 1)),
+            );
+            if has_r {
+                let mine_r: Vec<QueryRec<D>> =
+                    rqs_r[li].iter().filter(|(qid, _)| *qid as usize % p == me).copied().collect();
+                // Report visits carry their group's output volume as
+                // weight (Algorithm Report's balancing measure).
+                let group_count = group_weights(state);
+                items.extend(
+                    report_visits(state, &mine_r)
+                        .into_iter()
+                        .map(|(fid, rec)| (compose(li, fid as u32), rec, group_count[&fid])),
+                );
+            }
+        }
+
+        // (3) One multisearch balancing round for the whole batch.
+        let owned_ids: Vec<u64> = states
+            .iter()
+            .enumerate()
+            .flat_map(|(li, state)| state.forest.keys().map(move |&fid| compose(li, fid)))
+            .collect();
+        let outcome = ctx.load_balance_weighted_with(
+            &owned_ids,
+            |cid| {
+                let (li, fid) = decompose(cid);
+                states[li].forest[&fid].clone()
+            },
+            items,
+        );
+        let copies: HashMap<u64, &ForestEntry<D>> =
+            outcome.resources.iter().map(|(cid, entry)| (*cid, entry)).collect();
+
+        // (4) Forest finishes (local) for all three modes.
+        let mut cache: AggCache<S> = AggCache::new();
+        let mut report_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut sels = Vec::new();
+        let mut ids = Vec::new();
+        for (cid, (qid, q)) in outcome.items {
+            let entry = copies.get(&cid).copied().unwrap_or_else(|| {
+                let (li, fid) = decompose(cid);
+                &states[li].forest[&fid]
+            });
+            sels.clear();
+            entry.tree.search(&q, &mut sels);
+            if (qid as usize) < n_c {
+                let c: u64 = sels.iter().map(sel_count).sum();
+                if c > 0 {
+                    pairs.push((qid as u64, (c, None)));
+                }
+            } else if (qid as usize) < n_c + n_a {
+                let mut acc: Option<S::Val> = None;
+                for s in &sels {
+                    acc = comb_opt(&sg, acc, sel_fold(&sg, s, &mut cache));
+                }
+                if let Some(val) = acc {
+                    pairs.push((qid as u64, (0, Some(val))));
+                }
+            } else {
+                ids.clear();
+                for s in &sels {
+                    sel_report(s, &mut ids);
+                }
+                report_pairs.extend(ids.iter().map(|&id| (qid, id)));
+            }
+        }
+
+        // (5) Combine count/aggregate partials: global sort by query id,
+        // then one segmented fold over both modes at once.
+        let folded: Vec<(u64, Partial<S::Val>)> = if has_ca {
+            let sorted = ctx.sort_by_key(pairs, |pair: &(u64, Partial<S::Val>)| pair.0);
+            ctx.segmented_fold(sorted, |a: Partial<S::Val>, b: Partial<S::Val>| {
+                (a.0 + b.0, comb_opt(&sg, a.1, b.1))
+            })
+        } else {
+            Vec::new()
+        };
+
+        // (6) ⌈k/p⌉-balance the report output.
+        let shares: Vec<(u32, u32)> = if has_r { ctx.rebalance(report_pairs) } else { Vec::new() };
+
+        (folded, shares)
+    });
+
+    for (folded, shares) in per_rank {
+        for (qid, (c, v)) in folded {
+            let qid = qid as usize;
+            if qid < n_c {
+                out.counts[qid] += c;
+            } else {
+                let slot = &mut out.aggregates[qid - n_c];
+                *slot = comb_opt(&sg, slot.take(), v);
+            }
+        }
+        for (qid, id) in shares {
+            out.reports[qid as usize - n_c - n_a].push(id);
+        }
+    }
+    for ids in &mut out.reports {
+        ids.sort_unstable();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use crate::semigroup::{MaxWeight, Sum};
+
+    fn pts(n: u32) -> Vec<Point<2>> {
+        (0..n)
+            .map(|i| Point::weighted([i as i64, ((i * 37) % n) as i64], i, (i + 1) as u64))
+            .collect()
+    }
+
+    #[test]
+    fn fused_matches_per_mode_on_static_tree() {
+        let machine = Machine::new(4).unwrap();
+        let pts = pts(200);
+        let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+        let qs = vec![
+            Rect::new([0, 0], [99, 199]),
+            Rect::new([50, 10], [150, 120]),
+            Rect::new([3, 3], [3, 3]),
+        ];
+        machine.take_stats();
+        let fused = fused_query_batch(&machine, &[&tree], Sum, &qs, &qs, &qs);
+        let stats = machine.take_stats();
+        assert_eq!(stats.runs, 1, "fused mixed batch must be one submission");
+        assert_eq!(fused.counts, tree.count_batch(&machine, &qs));
+        assert_eq!(fused.aggregates, tree.aggregate_batch(&machine, Sum, &qs));
+        assert_eq!(fused.reports, tree.report_batch(&machine, &qs));
+    }
+
+    #[test]
+    fn fused_respects_semigroup_choice() {
+        let machine = Machine::new(2).unwrap();
+        let pts = pts(64);
+        let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+        let qs = vec![Rect::new([0, 0], [31, 63])];
+        let fused = fused_query_batch(&machine, &[&tree], MaxWeight, &[], &qs, &[]);
+        assert_eq!(fused.aggregates, tree.aggregate_batch(&machine, MaxWeight, &qs));
+    }
+
+    #[test]
+    fn empty_batch_submits_nothing() {
+        let machine = Machine::new(2).unwrap();
+        let tree = DistRangeTree::<2>::build(&machine, &pts(32)).unwrap();
+        machine.take_stats();
+        let out = fused_query_batch::<Sum, 2>(&machine, &[&tree], Sum, &[], &[], &[]);
+        let stats = machine.take_stats();
+        assert_eq!(stats.runs, 0);
+        assert_eq!(stats.supersteps(), 0);
+        assert!(out.counts.is_empty() && out.aggregates.is_empty() && out.reports.is_empty());
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod construct;
 pub mod dynamic;
+pub mod fused;
 pub mod hat;
 pub mod search;
 
@@ -30,6 +31,7 @@ use ddrs_cgm::Machine;
 
 pub use construct::{construct as construct_spmd, ForestEntry, ProcState};
 pub use dynamic::DynamicDistRangeTree;
+pub use fused::{fused_query_batch, FusedOutputs};
 pub use hat::ROOT_KEY;
 
 use crate::point::{Point, Rect};
@@ -161,6 +163,10 @@ impl<const D: usize> DistRangeTree<D> {
         queries: &[Rect<D>],
     ) -> Vec<Option<S::Val>> {
         self.assert_machine(machine);
+        if queries.is_empty() {
+            // Trivial batches must not pay a machine dispatch.
+            return Vec::new();
+        }
         let p = machine.p();
         let rqs = self.translate_batch(queries);
         let per_rank: Vec<Vec<(u64, S::Val)>> = machine.run(|ctx| {
@@ -240,6 +246,10 @@ impl<const D: usize> DistRangeTree<D> {
     /// order-preserving redistribution of the output pairs.
     pub fn report_batch_raw(&self, machine: &Machine, queries: &[Rect<D>]) -> Vec<Vec<(u32, u32)>> {
         self.assert_machine(machine);
+        if queries.is_empty() {
+            // Trivial batches must not pay a machine dispatch.
+            return vec![Vec::new(); machine.p()];
+        }
         let p = machine.p();
         let rqs = self.translate_batch(queries);
         machine.run(|ctx| {

@@ -153,23 +153,32 @@ pub fn balance_visits<const D: usize>(
     balance_weighted(ctx, state, visits, |_| 1)
 }
 
+/// Per-group output-volume weights, read from the hat replica's leaf
+/// summaries: forest id → real-point count, floored at 1. This is the
+/// balancing measure of Algorithm Report (a selected tree is weighed by
+/// its expected output), shared by the per-mode driver and the fused
+/// engine so the two can never diverge.
+pub(crate) fn group_weights<const D: usize>(state: &ProcState<D>) -> HashMap<u64, u64> {
+    let mut out = HashMap::new();
+    for t in state.hat.trees.values() {
+        let nleaves = t.nleaves as usize;
+        for i in 0..nleaves {
+            out.insert(t.leaf_forest[i] as u64, (t.cnt[nleaves + i] as u64).max(1));
+        }
+    }
+    out
+}
+
 /// Report-mode balancing: Algorithm Report weighs each selected tree by
-/// its expected output volume, so visits carry their target group's
-/// real-point count (read from the hat replica's leaf summaries) rather
-/// than a unit weight. Same three supersteps as [`balance_visits`].
+/// its expected output volume ([`group_weights`]) rather than a unit
+/// weight. Same three supersteps as [`balance_visits`].
 pub(crate) fn balance_visits_report<const D: usize>(
     ctx: &mut Ctx<'_>,
     state: &ProcState<D>,
     visits: Vec<(u64, QueryRec<D>)>,
 ) -> BalancedVisits<D> {
-    let mut group_count: HashMap<u64, u64> = HashMap::new();
-    for t in state.hat.trees.values() {
-        let nleaves = t.nleaves as usize;
-        for i in 0..nleaves {
-            group_count.insert(t.leaf_forest[i] as u64, t.cnt[nleaves + i] as u64);
-        }
-    }
-    balance_weighted(ctx, state, visits, move |fid| group_count[&fid].max(1))
+    let group_count = group_weights(state);
+    balance_weighted(ctx, state, visits, move |fid| group_count[&fid])
 }
 
 fn balance_weighted<const D: usize>(

@@ -37,7 +37,10 @@ pub mod rank;
 pub mod semigroup;
 pub mod seq;
 
-pub use dist::{BuildError, DistRangeTree, DynamicDistRangeTree, StructureReport};
+pub use dist::{
+    fused_query_batch, BuildError, DistRangeTree, DynamicDistRangeTree, FusedOutputs,
+    StructureReport,
+};
 pub use point::{Point, RPoint, RRect, Rect, PAD_ID};
 pub use rank::{RankError, RankSpace};
 pub use semigroup::{Count, MaxWeight, MinId, Semigroup, Sum};

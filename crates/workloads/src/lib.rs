@@ -11,5 +11,5 @@ mod queries;
 mod trace;
 
 pub use points::{PointDistribution, WorkloadBuilder};
-pub use queries::{QueryDistribution, QueryWorkload};
+pub use queries::{MixedQuery, QueryDistribution, QueryMode, QueryWorkload};
 pub use trace::CsvTable;

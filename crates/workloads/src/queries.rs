@@ -36,6 +36,28 @@ pub enum QueryDistribution {
     },
 }
 
+/// Query mode of one entry in a mixed-mode workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Range counting.
+    Count,
+    /// Associative-function (semigroup) aggregation.
+    Aggregate,
+    /// Report (enumerate matching ids).
+    Report,
+}
+
+/// One query of a mixed-mode batch: a box plus the mode it should be
+/// served in. Produced by [`QueryWorkload::mixed`] and consumed by the
+/// engine's `QueryBatch` (or the per-mode APIs, for comparison runs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedQuery<const D: usize> {
+    /// The query mode.
+    pub mode: QueryMode,
+    /// The query box.
+    pub rect: Rect<D>,
+}
+
 /// Seeded query-workload generator over a concrete point set's bounding
 /// box.
 #[derive(Debug, Clone)]
@@ -113,6 +135,39 @@ impl<const D: usize> QueryWorkload<D> {
         }
         out
     }
+
+    /// Generate a mixed-mode batch: `count` queries of the given spatial
+    /// distribution, with modes drawn by the (relative, not necessarily
+    /// normalised) weights `(count, aggregate, report)`. Deterministic in
+    /// the workload seed; at least one weight must be non-zero.
+    pub fn mixed(
+        &self,
+        dist: QueryDistribution,
+        weights: (u32, u32, u32),
+        count: usize,
+    ) -> Vec<MixedQuery<D>> {
+        let (wc, wa, wr) = weights;
+        let total = wc + wa + wr;
+        assert!(total > 0, "mixed workload needs at least one non-zero mode weight");
+        // Modes come from a derived stream so the boxes are identical to
+        // the plain `queries(dist, count)` batch — per-mode comparison
+        // runs see the same spatial workload.
+        let mut mode_rng = StdRng::seed_from_u64(self.seed ^ 0x6d69_7865_645f_6d6f);
+        self.queries(dist, count)
+            .into_iter()
+            .map(|rect| {
+                let roll = mode_rng.random_range(0..total);
+                let mode = if roll < wc {
+                    QueryMode::Count
+                } else if roll < wc + wa {
+                    QueryMode::Aggregate
+                } else {
+                    QueryMode::Report
+                };
+                MixedQuery { mode, rect }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +222,25 @@ mod tests {
             assert_eq!(q.hi[0], w.hi[0]);
             assert!(q.hi[1] - q.lo[1] < (w.hi[1] - w.lo[1]) / 10);
         }
+    }
+
+    #[test]
+    fn mixed_batches_are_deterministic_and_weighted() {
+        let (_, w) = setup();
+        let dist = QueryDistribution::Selectivity { fraction: 0.05 };
+        let a = w.mixed(dist, (2, 1, 1), 400);
+        let b = w.mixed(dist, (2, 1, 1), 400);
+        assert_eq!(a, b, "same seed, same batch");
+        // The boxes match the plain batch (modes only re-tag them).
+        let plain = w.queries(dist, 400);
+        assert!(a.iter().zip(&plain).all(|(m, q)| m.rect == *q));
+        let n_count = a.iter().filter(|m| m.mode == QueryMode::Count).count();
+        let n_agg = a.iter().filter(|m| m.mode == QueryMode::Aggregate).count();
+        let n_rep = a.iter().filter(|m| m.mode == QueryMode::Report).count();
+        assert_eq!(n_count + n_agg + n_rep, 400);
+        // Weight 2:1:1 → roughly half the queries are counts.
+        assert!(n_count > 120 && n_count < 280, "counts: {n_count}");
+        assert!(n_agg > 40 && n_rep > 40, "agg: {n_agg}, rep: {n_rep}");
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * [`baselines`] — k-d tree, brute-force scan, layered range tree and the
 //!   fully-replicated parallel scheme the paper argues against,
 //! * [`workloads`] — deterministic point/query generators used by the
-//!   experiment harness.
+//!   experiment harness,
+//! * [`engine`] — the mixed-mode query engine: heterogeneous
+//!   count/aggregate/report batches planned into one SPMD submission
+//!   (one [`Machine::run`](cgm::Machine::run) per client batch, however
+//!   many dynamization levels are occupied).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +41,7 @@
 //! ```
 pub use ddrs_baselines as baselines;
 pub use ddrs_cgm as cgm;
+pub use ddrs_engine as engine;
 pub use ddrs_rangetree as rangetree;
 pub use ddrs_workloads as workloads;
 
@@ -46,6 +51,9 @@ pub mod prelude {
         BruteForce, KdTree, LayeredRangeTree2d, ReplicatedRangeTree, WeightedDominance2d,
     };
     pub use ddrs_cgm::{Machine, RunStats};
-    pub use ddrs_rangetree::{Count, DistRangeTree, Point, Rect, SeqRangeTree, Sum};
+    pub use ddrs_engine::{BatchResults, QueryBatch};
+    pub use ddrs_rangetree::{
+        Count, DistRangeTree, DynamicDistRangeTree, Point, Rect, SeqRangeTree, Sum,
+    };
     pub use ddrs_workloads::{PointDistribution, QueryWorkload, WorkloadBuilder};
 }
