@@ -67,7 +67,7 @@ pub use ctx::Ctx;
 pub use error::CgmError;
 pub use machine::Machine;
 pub use payload::{shallow_words, slice_words, Payload};
-pub use stats::{RoundStat, RunStats};
+pub use stats::{RoundStat, RunStats, RunStatsRollup};
 
 /// Returns `log2(x)` for a power of two `x`.
 ///

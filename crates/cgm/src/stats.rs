@@ -70,6 +70,58 @@ impl RunStats {
     }
 }
 
+/// A bounded-memory rollup of one or more [`RunStats`] snapshots.
+///
+/// [`RunStats`] keeps one [`RoundStat`] per superstep, which is exactly
+/// right for verifying the paper's bounds on a single run but grows
+/// without bound when a long-lived component (e.g. a serving front-end)
+/// wants cumulative telemetry across millions of dispatches. A rollup
+/// keeps only the scalar summaries — run count, superstep count, the
+/// largest h-relation ever routed and total traffic — and absorbs
+/// snapshots in O(rounds) time and O(1) space.
+///
+/// ```
+/// use ddrs_cgm::{Machine, RunStatsRollup};
+/// let m = Machine::new(2).unwrap();
+/// let mut rollup = RunStatsRollup::default();
+/// for _ in 0..3 {
+///     m.run(|ctx| ctx.all_reduce_sum(1u64));
+///     rollup.absorb(&m.take_stats());
+/// }
+/// assert_eq!(rollup.runs, 3);
+/// assert_eq!(rollup.supersteps % 3, 0, "identical runs, identical rounds");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStatsRollup {
+    /// Number of `run` invocations absorbed.
+    pub runs: u64,
+    /// Total communication supersteps across all absorbed runs.
+    pub supersteps: u64,
+    /// The largest h-relation routed in any absorbed superstep.
+    pub max_h: u64,
+    /// Total words moved across all absorbed supersteps and processors.
+    pub total_words: u64,
+}
+
+impl RunStatsRollup {
+    /// Fold a [`RunStats`] snapshot into the rollup.
+    pub fn absorb(&mut self, stats: &RunStats) {
+        self.runs += stats.runs as u64;
+        self.supersteps += stats.supersteps() as u64;
+        self.max_h = self.max_h.max(stats.max_h());
+        self.total_words += stats.total_traffic();
+    }
+
+    /// Mean supersteps per absorbed run (0 when no runs were absorbed).
+    pub fn rounds_per_run(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.supersteps as f64 / self.runs as f64
+        }
+    }
+}
+
 /// Shared collector the SPMD threads report into.
 ///
 /// All `p` processors execute the same sequence of collectives, so the
@@ -133,6 +185,35 @@ mod tests {
         assert_eq!(rounds[0].max_recv_words, 12);
         assert_eq!(rounds[0].total_words, 13);
         assert_eq!(rounds[0].h(), 12);
+    }
+
+    #[test]
+    fn rollup_absorbs_scalar_summaries() {
+        let run1 = RunStats {
+            rounds: vec![
+                RoundStat { label: "a", max_sent_words: 5, max_recv_words: 7, total_words: 20 },
+                RoundStat { label: "b", max_sent_words: 9, max_recv_words: 2, total_words: 11 },
+            ],
+            runs: 1,
+        };
+        let run2 = RunStats {
+            rounds: vec![RoundStat {
+                label: "a",
+                max_sent_words: 30,
+                max_recv_words: 1,
+                total_words: 40,
+            }],
+            runs: 2,
+        };
+        let mut rollup = RunStatsRollup::default();
+        assert_eq!(rollup.rounds_per_run(), 0.0);
+        rollup.absorb(&run1);
+        rollup.absorb(&run2);
+        assert_eq!(rollup.runs, 3);
+        assert_eq!(rollup.supersteps, 3);
+        assert_eq!(rollup.max_h, 30);
+        assert_eq!(rollup.total_words, 71);
+        assert_eq!(rollup.rounds_per_run(), 1.0);
     }
 
     #[test]

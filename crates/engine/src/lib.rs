@@ -49,9 +49,10 @@
 
 #![warn(missing_docs)]
 
-use ddrs_cgm::Machine;
+use ddrs_cgm::{CgmError, Machine};
 use ddrs_rangetree::{
-    fused_query_batch, DistRangeTree, DynamicDistRangeTree, FusedOutputs, Rect, Semigroup,
+    fused_query_batch, try_fused_query_batch, DistRangeTree, DynamicDistRangeTree, FusedOutputs,
+    Rect, Semigroup,
 };
 
 /// Results of one executed [`QueryBatch`], per mode, indexed by the
@@ -112,19 +113,61 @@ impl<S: Semigroup, const D: usize> QueryBatch<S, D> {
 
     /// Execute against a static tree: one [`Machine::run`] for the whole
     /// batch (zero for an empty batch).
+    ///
+    /// # Panics
+    /// Panics when a simulated processor panics mid-program; use
+    /// [`try_execute`](QueryBatch::try_execute) to handle the failure
+    /// instead.
     pub fn execute(&self, machine: &Machine, tree: &DistRangeTree<D>) -> BatchResults<S> {
         fused_query_batch(machine, &[tree], self.sg, &self.counts, &self.aggs, &self.reports)
+    }
+
+    /// Fallible counterpart of [`execute`](QueryBatch::execute): routed
+    /// through [`Machine::try_run`], so a panicked simulated processor
+    /// surfaces as [`CgmError::ProcessorPanicked`] and the machine stays
+    /// usable. This is the entry point long-lived callers (the
+    /// `ddrs-service` scheduler) use so one poisoned batch cannot take
+    /// the dispatcher down with it.
+    pub fn try_execute(
+        &self,
+        machine: &Machine,
+        tree: &DistRangeTree<D>,
+    ) -> Result<BatchResults<S>, CgmError> {
+        try_fused_query_batch(machine, &[tree], self.sg, &self.counts, &self.aggs, &self.reports)
     }
 
     /// Execute against a dynamic store: all occupied logarithmic-method
     /// levels are fused into the same single [`Machine::run`] (zero for
     /// an empty batch or an empty store).
+    ///
+    /// # Panics
+    /// Panics when a simulated processor panics mid-program; use
+    /// [`try_execute_dynamic`](QueryBatch::try_execute_dynamic) to handle
+    /// the failure instead.
     pub fn execute_dynamic(
         &self,
         machine: &Machine,
         tree: &DynamicDistRangeTree<D>,
     ) -> BatchResults<S> {
         fused_query_batch(
+            machine,
+            &tree.level_trees(),
+            self.sg,
+            &self.counts,
+            &self.aggs,
+            &self.reports,
+        )
+    }
+
+    /// Fallible counterpart of
+    /// [`execute_dynamic`](QueryBatch::execute_dynamic), routed through
+    /// [`Machine::try_run`] like [`try_execute`](QueryBatch::try_execute).
+    pub fn try_execute_dynamic(
+        &self,
+        machine: &Machine,
+        tree: &DynamicDistRangeTree<D>,
+    ) -> Result<BatchResults<S>, CgmError> {
+        try_fused_query_batch(
             machine,
             &tree.level_trees(),
             self.sg,
@@ -183,6 +226,30 @@ mod tests {
         let stats = machine.take_stats();
         assert_eq!(stats.runs, 1);
         assert_eq!(out.counts[0], 55);
+    }
+
+    #[test]
+    fn try_execute_agrees_with_execute() {
+        let machine = Machine::new(4).unwrap();
+        let tree = DistRangeTree::<2>::build(&machine, &pts(0..80)).unwrap();
+        let mut dynamic = DynamicDistRangeTree::<2>::new(8);
+        dynamic.insert_batch(&machine, &pts(0..40)).unwrap();
+        dynamic.insert_batch(&machine, &pts(50..70)).unwrap();
+        let mut batch = QueryBatch::new(Sum);
+        batch.count(Rect::new([0, 0], [800, 600]));
+        batch.aggregate(Rect::new([0, 0], [400, 300]));
+        batch.report(Rect::new([0, 0], [100, 100]));
+        let (a, b) = (batch.execute(&machine, &tree), batch.try_execute(&machine, &tree).unwrap());
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.aggregates, b.aggregates);
+        assert_eq!(a.reports, b.reports);
+        let (a, b) = (
+            batch.execute_dynamic(&machine, &dynamic),
+            batch.try_execute_dynamic(&machine, &dynamic).unwrap(),
+        );
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.aggregates, b.aggregates);
+        assert_eq!(a.reports, b.reports);
     }
 
     #[test]

@@ -122,6 +122,13 @@ impl<const D: usize> DynamicDistRangeTree<D> {
         self.ids.is_empty()
     }
 
+    /// True when a point with this id is live in the store. O(1); used by
+    /// the serving layer to pre-validate merged write epochs against
+    /// sequential semantics before paying any rebuild.
+    pub fn contains_id(&self, id: u32) -> bool {
+        self.ids.contains(&id)
+    }
+
     /// Number of non-empty levels (static trees queries fan out over).
     pub fn occupied_levels(&self) -> usize {
         self.levels.iter().flatten().count()

@@ -32,7 +32,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use ddrs_cgm::Machine;
+use ddrs_cgm::{CgmError, Machine};
 
 use crate::dist::construct::ForestEntry;
 use crate::dist::search::{fill_hat_values, group_weights, hat_stage, report_visits, QueryRec};
@@ -80,6 +80,12 @@ type Partial<V> = (u64, Option<V>);
 /// `stats.supersteps()` and `stats.runs` stay untouched.
 ///
 /// All levels must have been built on a machine of the same `p`.
+///
+/// # Panics
+/// Panics when a simulated processor panics mid-program (delegates to
+/// [`try_fused_query_batch`], mirroring the [`Machine::run`] /
+/// [`Machine::try_run`](Machine::try_run) contract). Fallible callers —
+/// the serving layer above all — should use the `try` variant.
 pub fn fused_query_batch<S: Semigroup, const D: usize>(
     machine: &Machine,
     levels: &[&DistRangeTree<D>],
@@ -88,6 +94,30 @@ pub fn fused_query_batch<S: Semigroup, const D: usize>(
     aggs: &[Rect<D>],
     reports: &[Rect<D>],
 ) -> FusedOutputs<S> {
+    match try_fused_query_batch(machine, levels, sg, counts, aggs, reports) {
+        Ok(out) => out,
+        Err(CgmError::ProcessorPanicked { rank, payload }) => {
+            panic!("simulated processor panicked: rank {rank}: {payload}")
+        }
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible counterpart of [`fused_query_batch`]: the same single-run
+/// fused plan, routed through [`Machine::try_run`] so a panic in any
+/// simulated processor surfaces as
+/// [`CgmError::ProcessorPanicked`] instead of unwinding
+/// the caller. The machine remains usable afterwards — this is what lets
+/// a long-lived serving layer treat a poisoned batch as one failed
+/// request wave rather than a dead scheduler.
+pub fn try_fused_query_batch<S: Semigroup, const D: usize>(
+    machine: &Machine,
+    levels: &[&DistRangeTree<D>],
+    sg: S,
+    counts: &[Rect<D>],
+    aggs: &[Rect<D>],
+    reports: &[Rect<D>],
+) -> Result<FusedOutputs<S>, CgmError> {
     let (n_c, n_a, n_r) = (counts.len(), aggs.len(), reports.len());
     let mut out = FusedOutputs {
         counts: vec![0; n_c],
@@ -95,7 +125,7 @@ pub fn fused_query_batch<S: Semigroup, const D: usize>(
         reports: vec![Vec::new(); n_r],
     };
     if levels.is_empty() || n_c + n_a + n_r == 0 {
-        return out;
+        return Ok(out);
     }
     for t in levels {
         t.assert_machine(machine);
@@ -133,7 +163,7 @@ pub fn fused_query_batch<S: Semigroup, const D: usize>(
         .collect();
 
     type Share<V> = (Vec<(u64, Partial<V>)>, Vec<(u32, u32)>);
-    let per_rank: Vec<Share<S::Val>> = machine.run(|ctx| {
+    let per_rank: Vec<Share<S::Val>> = machine.try_run(|ctx| {
         let me = ctx.rank();
         let states: Vec<_> = levels.iter().map(|t| &t.states[me]).collect();
 
@@ -267,7 +297,7 @@ pub fn fused_query_batch<S: Semigroup, const D: usize>(
         let shares: Vec<(u32, u32)> = if has_r { ctx.rebalance(report_pairs) } else { Vec::new() };
 
         (folded, shares)
-    });
+    })?;
 
     for (folded, shares) in per_rank {
         for (qid, (c, v)) in folded {
@@ -286,7 +316,7 @@ pub fn fused_query_batch<S: Semigroup, const D: usize>(
     for ids in &mut out.reports {
         ids.sort_unstable();
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -328,6 +358,19 @@ mod tests {
         let qs = vec![Rect::new([0, 0], [31, 63])];
         let fused = fused_query_batch(&machine, &[&tree], MaxWeight, &[], &qs, &[]);
         assert_eq!(fused.aggregates, tree.aggregate_batch(&machine, MaxWeight, &qs));
+    }
+
+    #[test]
+    fn try_variant_agrees_with_panicking_variant() {
+        let machine = Machine::new(4).unwrap();
+        let pts = pts(100);
+        let tree = DistRangeTree::<2>::build(&machine, &pts).unwrap();
+        let qs = vec![Rect::new([0, 0], [49, 99]), Rect::new([10, 10], [20, 20])];
+        let fused = fused_query_batch(&machine, &[&tree], Sum, &qs, &qs, &qs);
+        let tried = try_fused_query_batch(&machine, &[&tree], Sum, &qs, &qs, &qs).unwrap();
+        assert_eq!(fused.counts, tried.counts);
+        assert_eq!(fused.aggregates, tried.aggregates);
+        assert_eq!(fused.reports, tried.reports);
     }
 
     #[test]

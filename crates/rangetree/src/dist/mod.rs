@@ -31,7 +31,7 @@ use ddrs_cgm::Machine;
 
 pub use construct::{construct as construct_spmd, ForestEntry, ProcState};
 pub use dynamic::DynamicDistRangeTree;
-pub use fused::{fused_query_batch, FusedOutputs};
+pub use fused::{fused_query_batch, try_fused_query_batch, FusedOutputs};
 pub use hat::ROOT_KEY;
 
 use crate::point::{Point, Rect};

@@ -38,8 +38,8 @@ pub mod semigroup;
 pub mod seq;
 
 pub use dist::{
-    fused_query_batch, BuildError, DistRangeTree, DynamicDistRangeTree, FusedOutputs,
-    StructureReport,
+    fused_query_batch, try_fused_query_batch, BuildError, DistRangeTree, DynamicDistRangeTree,
+    FusedOutputs, StructureReport,
 };
 pub use point::{Point, RPoint, RRect, Rect, PAD_ID};
 pub use rank::{RankError, RankSpace};

@@ -1,0 +1,949 @@
+//! # ddrs-service — the concurrent serving front-end
+//!
+//! The layers below this crate are synchronous and single-caller: the
+//! fused engine turns one `QueryBatch` into one SPMD submission, but
+//! somebody still has to *assemble* large batches, and nothing arbitrates
+//! between concurrent clients or interleaves updates safely. This crate
+//! is that missing serving layer — the piece that turns many small
+//! independent requests into the few big fused runs the machine is fast
+//! at:
+//!
+//! ```text
+//!  client threads                    scheduler thread
+//!  ──────────────   ┌─────────┐   ┌──────────────────────────────────┐
+//!  count(q) ───┐    │ bounded │   │ group-commit window:             │
+//!  sum(q)   ───┼──▶ │  FIFO   │──▶│  dispatch at max_batch pending   │
+//!  report(q) ──┤    │  queue  │   │  or max_delay elapsed            │
+//!  insert(b) ──┤    └─────────┘   │                                  │
+//!  delete(b) ──┘      ▲           │ reads  → one fused QueryBatch    │
+//!     │               │ Overloaded│          (one Machine::run)      │
+//!     ▼               └───────────│ writes → one merged epoch        │
+//!  Ticket::wait ◀─────────────────│          (delete + insert        │
+//!  (value, commit seq)            │           cascade, then resume)  │
+//!                                 └──────────────────────────────────┘
+//! ```
+//!
+//! ## Guarantees
+//!
+//! * **Batch serializability.** Every response carries a commit sequence
+//!   number, and replaying all committed requests in sequence order
+//!   against a sequential oracle reproduces every response exactly. The
+//!   scheduler achieves this the simple way: it is the only thread that
+//!   touches the store, reads coalesce only with reads, and writes apply
+//!   in epochs between read dispatches — each epoch drains the in-flight
+//!   readers (the dispatch before it completes first), applies one merged
+//!   `delete_batch` + `insert_batch` cascade, and resumes.
+//! * **Adaptive micro-batching.** A dispatch fires when `max_batch`
+//!   requests are pending or the oldest has waited `max_delay`, whichever
+//!   comes first — group commit for query traffic. Under load, batches
+//!   grow toward `max_batch` and the per-run cost amortises; when idle,
+//!   a lone request pays at most `max_delay` of extra latency.
+//! * **Admission control.** The queue is bounded; submissions beyond
+//!   `queue_capacity` fail fast with [`SubmitError::Overloaded`] instead
+//!   of growing latency without bound.
+//! * **Deadlines.** A request may carry a deadline; if it is still queued
+//!   when the deadline passes it completes with
+//!   [`ServiceError::DeadlineExpired`] and never reaches the machine.
+//! * **Graceful shutdown.** [`Service::shutdown`] drains the queue and
+//!   returns the machine and store; [`Service::abort`] rejects pending
+//!   requests with [`ServiceError::ShuttingDown`] instead. Either way
+//!   every ticket resolves — no client blocks forever.
+//!
+//! ## Example
+//!
+//! ```
+//! use ddrs_cgm::Machine;
+//! use ddrs_rangetree::{DynamicDistRangeTree, Point, Rect, Sum};
+//! use ddrs_service::{Service, ServiceConfig};
+//!
+//! let machine = Machine::new(2).unwrap();
+//! let mut tree = DynamicDistRangeTree::<2>::new(16);
+//! let pts: Vec<Point<2>> =
+//!     (0..64).map(|i| Point::weighted([i, 63 - i], i as u32, 1)).collect();
+//! tree.insert_batch(&machine, &pts).unwrap();
+//!
+//! let service = Service::start(machine, tree, Sum, ServiceConfig::default());
+//! let a = service.count(Rect::new([0, 0], [31, 63])).unwrap();
+//! let b = service.aggregate(Rect::new([0, 0], [63, 63])).unwrap();
+//! assert_eq!(a.wait().unwrap().value, 32);
+//! assert_eq!(b.wait().unwrap().value, Some(64));
+//! let (_machine, tree) = service.shutdown();
+//! assert_eq!(tree.len(), 64);
+//! ```
+
+#![warn(missing_docs)]
+
+mod stats;
+mod ticket;
+
+pub use stats::{Histogram, ServiceStats};
+pub use ticket::{Commit, Ticket};
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ddrs_cgm::Machine;
+use ddrs_engine::QueryBatch;
+use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Rect, Semigroup, PAD_ID};
+
+use ticket::{ticket, Resolver};
+
+/// Tuning knobs of the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Dispatch as soon as this many requests are pending (group-commit
+    /// batch-size trigger). Must be at least 1.
+    pub max_batch: usize,
+    /// Dispatch once the oldest pending request has waited this long
+    /// (group-commit delay trigger).
+    pub max_delay: Duration,
+    /// Admission bound: submissions beyond this queue depth are rejected
+    /// with [`SubmitError::Overloaded`]. Must be at least 1.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { max_batch: 64, max_delay: Duration::from_micros(500), queue_capacity: 4096 }
+    }
+}
+
+/// Why a submission was turned away at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control: the queue is at capacity. Retry later or shed
+    /// load; the depth at rejection time is included for telemetry.
+    Overloaded {
+        /// Queue depth observed when the submission was rejected.
+        depth: usize,
+    },
+    /// The service is shutting down (or has shut down) and accepts no new
+    /// work.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { depth } => {
+                write!(f, "service overloaded: queue depth {depth} at capacity")
+            }
+            SubmitError::ShutDown => write!(f, "service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an accepted request did not produce a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request was still queued when its deadline passed; it never
+    /// reached the machine.
+    DeadlineExpired,
+    /// The service shut down (or its scheduler abandoned the request)
+    /// before the request was served.
+    ShuttingDown,
+    /// The machine failed executing the request's batch (a simulated
+    /// processor panicked). The service itself survives; the message is
+    /// the underlying failure.
+    Machine(String),
+    /// A write was rejected by sequential validation (duplicate or
+    /// reserved id). The store is unchanged; the rejection is exactly
+    /// what a sequential `insert_batch` at the same point in the commit
+    /// order would have returned.
+    Rejected(BuildError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::DeadlineExpired => write!(f, "deadline expired before dispatch"),
+            ServiceError::ShuttingDown => {
+                write!(f, "service shut down before serving the request")
+            }
+            ServiceError::Machine(msg) => write!(f, "machine execution failed: {msg}"),
+            ServiceError::Rejected(e) => write!(f, "write rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One request as it sits in the queue.
+enum Op<S: Semigroup, const D: usize> {
+    Count(Rect<D>, Resolver<u64>),
+    Aggregate(Rect<D>, Resolver<Option<S::Val>>),
+    Report(Rect<D>, Resolver<Vec<u32>>),
+    Insert(Vec<Point<D>>, Resolver<()>),
+    Delete(Vec<u32>, Resolver<()>),
+}
+
+impl<S: Semigroup, const D: usize> Op<S, D> {
+    fn is_read(&self) -> bool {
+        matches!(self, Op::Count(..) | Op::Aggregate(..) | Op::Report(..))
+    }
+
+    fn fail(self, e: ServiceError) {
+        match self {
+            Op::Count(_, r) => r.resolve(Err(e)),
+            Op::Aggregate(_, r) => r.resolve(Err(e)),
+            Op::Report(_, r) => r.resolve(Err(e)),
+            Op::Insert(_, r) => r.resolve(Err(e)),
+            Op::Delete(_, r) => r.resolve(Err(e)),
+        }
+    }
+}
+
+struct Pending<S: Semigroup, const D: usize> {
+    op: Op<S, D>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Running,
+    /// Serve everything already queued, then stop.
+    Draining,
+    /// Reject everything already queued, then stop.
+    Rejecting,
+    /// An epoch failed mid-apply; the store may be inconsistent, so stop
+    /// serving (pending requests are rejected).
+    Poisoned,
+}
+
+struct Queue<S: Semigroup, const D: usize> {
+    q: VecDeque<Pending<S, D>>,
+    mode: Mode,
+}
+
+struct Inner<S: Semigroup, const D: usize> {
+    cfg: ServiceConfig,
+    sg: S,
+    queue: Mutex<Queue<S, D>>,
+    /// Signals the scheduler: new arrival or mode change.
+    arrived: Condvar,
+    stats: Mutex<ServiceStats>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The serving front-end over one [`Machine`] and one
+/// [`DynamicDistRangeTree`].
+///
+/// Submission methods take `&self` and may be called from any number of
+/// threads; each returns a [`Ticket`] redeemable for the response and its
+/// commit sequence number. The machine and store are owned by the
+/// scheduler thread for the service's lifetime and handed back by
+/// [`shutdown`](Service::shutdown) / [`abort`](Service::abort).
+///
+/// The store handed to [`start`](Service::start) must have been built
+/// with the same machine (or be empty): the service applies all further
+/// construction with the machine it owns.
+pub struct Service<S: Semigroup, const D: usize> {
+    inner: Arc<Inner<S, D>>,
+    scheduler: Option<JoinHandle<(Machine, DynamicDistRangeTree<D>, bool)>>,
+}
+
+// The scheduler thread owns the machine and the store; clients share
+// `Inner`. Everything crossing those boundaries must be thread-safe, and
+// this must hold by construction, not by test coverage.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<Machine>();
+    assert_sync::<Machine>();
+};
+
+impl<S: Semigroup, const D: usize> Service<S, D> {
+    /// Start the service: spawns the scheduler thread and takes ownership
+    /// of the machine and store.
+    ///
+    /// # Panics
+    /// Panics if `cfg.max_batch` or `cfg.queue_capacity` is zero.
+    pub fn start(
+        machine: Machine,
+        tree: DynamicDistRangeTree<D>,
+        sg: S,
+        cfg: ServiceConfig,
+    ) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.queue_capacity >= 1, "queue_capacity must be at least 1");
+        let inner = Arc::new(Inner {
+            cfg,
+            sg,
+            queue: Mutex::new(Queue { q: VecDeque::new(), mode: Mode::Running }),
+            arrived: Condvar::new(),
+            stats: Mutex::new(ServiceStats::default()),
+        });
+        let sched_inner = Arc::clone(&inner);
+        let scheduler = std::thread::Builder::new()
+            .name("ddrs-service-scheduler".into())
+            .spawn(move || scheduler_loop(&sched_inner, machine, tree))
+            .expect("spawning the service scheduler");
+        Service { inner, scheduler: Some(scheduler) }
+    }
+
+    fn enqueue<T>(
+        &self,
+        deadline: Option<Duration>,
+        make: impl FnOnce(Resolver<T>) -> Op<S, D>,
+    ) -> Result<Ticket<T>, SubmitError> {
+        let now = Instant::now();
+        let mut q = lock(&self.inner.queue);
+        if q.mode != Mode::Running {
+            return Err(SubmitError::ShutDown);
+        }
+        // The submission counters are bumped while still holding the
+        // queue lock (stats nests inside queue, never the reverse), so
+        // `submitted >= completed` holds in every snapshot — the
+        // scheduler cannot complete a request before its submission is
+        // recorded.
+        if q.q.len() >= self.inner.cfg.queue_capacity {
+            let depth = q.q.len();
+            lock(&self.inner.stats).overloaded += 1;
+            return Err(SubmitError::Overloaded { depth });
+        }
+        let (t, r) = ticket();
+        q.q.push_back(Pending { op: make(r), submitted: now, deadline: deadline.map(|d| now + d) });
+        self.inner.arrived.notify_all();
+        lock(&self.inner.stats).submitted += 1;
+        Ok(t)
+    }
+
+    /// Submit a counting query.
+    pub fn count(&self, q: Rect<D>) -> Result<Ticket<u64>, SubmitError> {
+        self.count_within(q, None)
+    }
+
+    /// Submit a counting query with an optional queueing deadline.
+    pub fn count_within(
+        &self,
+        q: Rect<D>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<u64>, SubmitError> {
+        self.enqueue(deadline, |r| Op::Count(q, r))
+    }
+
+    /// Submit an associative-function (semigroup aggregation) query.
+    pub fn aggregate(&self, q: Rect<D>) -> Result<Ticket<Option<S::Val>>, SubmitError> {
+        self.aggregate_within(q, None)
+    }
+
+    /// Submit an aggregation query with an optional queueing deadline.
+    pub fn aggregate_within(
+        &self,
+        q: Rect<D>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<Option<S::Val>>, SubmitError> {
+        self.enqueue(deadline, |r| Op::Aggregate(q, r))
+    }
+
+    /// Submit a report query (matching ids, ascending).
+    pub fn report(&self, q: Rect<D>) -> Result<Ticket<Vec<u32>>, SubmitError> {
+        self.report_within(q, None)
+    }
+
+    /// Submit a report query with an optional queueing deadline.
+    pub fn report_within(
+        &self,
+        q: Rect<D>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<Vec<u32>>, SubmitError> {
+        self.enqueue(deadline, |r| Op::Report(q, r))
+    }
+
+    /// Submit an insert batch. Resolves `Ok` once the points are live, or
+    /// [`ServiceError::Rejected`] if validation fails (duplicate or
+    /// reserved id) — exactly as a sequential `insert_batch` at the same
+    /// commit position would.
+    pub fn insert(&self, pts: Vec<Point<D>>) -> Result<Ticket<()>, SubmitError> {
+        self.insert_within(pts, None)
+    }
+
+    /// Submit an insert batch with an optional queueing deadline.
+    pub fn insert_within(
+        &self,
+        pts: Vec<Point<D>>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<()>, SubmitError> {
+        self.enqueue(deadline, |r| Op::Insert(pts, r))
+    }
+
+    /// Submit a delete batch by id (missing ids are no-ops).
+    pub fn delete(&self, ids: Vec<u32>) -> Result<Ticket<()>, SubmitError> {
+        self.delete_within(ids, None)
+    }
+
+    /// Submit a delete batch with an optional queueing deadline.
+    pub fn delete_within(
+        &self,
+        ids: Vec<u32>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<()>, SubmitError> {
+        self.enqueue(deadline, |r| Op::Delete(ids, r))
+    }
+
+    /// Snapshot the service telemetry.
+    pub fn stats(&self) -> ServiceStats {
+        let depth = lock(&self.inner.queue).q.len();
+        let mut snap = lock(&self.inner.stats).clone();
+        snap.queue_depth = depth;
+        snap
+    }
+
+    fn stop(&mut self, mode: Mode) -> (Machine, DynamicDistRangeTree<D>, bool) {
+        {
+            let mut q = lock(&self.inner.queue);
+            if q.mode == Mode::Running {
+                q.mode = mode;
+            }
+            self.inner.arrived.notify_all();
+        }
+        self.scheduler
+            .take()
+            .expect("service already stopped")
+            .join()
+            .expect("service scheduler panicked")
+    }
+
+    /// Begin a graceful shutdown without blocking: new submissions fail
+    /// with [`SubmitError::ShutDown`] from this point on, while already
+    /// queued requests are still served. Call
+    /// [`shutdown`](Service::shutdown) (or drop the service) to join the
+    /// scheduler and reclaim the machine and store.
+    ///
+    /// This is the entry point for shutdown *under load*: any thread
+    /// holding `&Service` can flip the switch while other threads are
+    /// mid-submission.
+    pub fn begin_shutdown(&self) {
+        let mut q = lock(&self.inner.queue);
+        if q.mode == Mode::Running {
+            q.mode = Mode::Draining;
+        }
+        self.inner.arrived.notify_all();
+    }
+
+    /// Stop accepting work, serve everything already queued, then return
+    /// the machine and the store.
+    ///
+    /// # Panics
+    /// Panics if a write epoch failed mid-apply during the service's
+    /// lifetime (every affected ticket already resolved with
+    /// [`ServiceError::Machine`]): the store would be inconsistent, and
+    /// handing it back as if healthy would silently serve wrong answers.
+    pub fn shutdown(mut self) -> (Machine, DynamicDistRangeTree<D>) {
+        let (machine, tree, poisoned) = self.stop(Mode::Draining);
+        assert!(
+            !poisoned,
+            "service store poisoned: a write epoch failed mid-apply, the store is inconsistent"
+        );
+        (machine, tree)
+    }
+
+    /// Stop accepting work and reject everything already queued with
+    /// [`ServiceError::ShuttingDown`], then return the machine and store.
+    ///
+    /// # Panics
+    /// Panics if a write epoch failed mid-apply, as with
+    /// [`shutdown`](Service::shutdown).
+    pub fn abort(mut self) -> (Machine, DynamicDistRangeTree<D>) {
+        let (machine, tree, poisoned) = self.stop(Mode::Rejecting);
+        assert!(
+            !poisoned,
+            "service store poisoned: a write epoch failed mid-apply, the store is inconsistent"
+        );
+        (machine, tree)
+    }
+}
+
+impl<S: Semigroup, const D: usize> Drop for Service<S, D> {
+    fn drop(&mut self) {
+        if self.scheduler.is_some() {
+            let _ = self.stop(Mode::Draining);
+        }
+    }
+}
+
+impl<S: Semigroup, const D: usize> std::fmt::Debug for Service<S, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("d", &D)
+            .field("queue_depth", &lock(&self.inner.queue).q.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+/// Pop the dispatchable prefix: expired requests (failed immediately) and
+/// the longest same-kind run, capped at `max_batch`.
+fn carve<S: Semigroup, const D: usize>(
+    q: &mut VecDeque<Pending<S, D>>,
+    max_batch: usize,
+) -> (Vec<Pending<S, D>>, Vec<Pending<S, D>>) {
+    let now = Instant::now();
+    let mut expired = Vec::new();
+    let mut batch: Vec<Pending<S, D>> = Vec::new();
+    let mut kind: Option<bool> = None;
+    while batch.len() < max_batch {
+        let Some(front) = q.front() else { break };
+        if front.deadline.is_some_and(|d| d <= now) {
+            expired.push(q.pop_front().unwrap());
+            continue;
+        }
+        let is_read = front.op.is_read();
+        match kind {
+            None => kind = Some(is_read),
+            Some(k) if k != is_read => break,
+            _ => {}
+        }
+        batch.push(q.pop_front().unwrap());
+    }
+    (batch, expired)
+}
+
+/// Per-read bookkeeping between batch assembly and result distribution.
+enum ReadSlot<S: Semigroup> {
+    Count(usize, Resolver<u64>),
+    Agg(usize, Resolver<Option<S::Val>>),
+    Report(usize, Resolver<Vec<u32>>),
+}
+
+impl<S: Semigroup> ReadSlot<S> {
+    fn fail(self, e: ServiceError) {
+        match self {
+            ReadSlot::Count(_, r) => r.resolve(Err(e)),
+            ReadSlot::Agg(_, r) => r.resolve(Err(e)),
+            ReadSlot::Report(_, r) => r.resolve(Err(e)),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The scheduler body. The third element of the return value is the
+/// poisoned flag: true when a write epoch failed mid-apply and the store
+/// should not be handed back as healthy.
+fn scheduler_loop<S: Semigroup, const D: usize>(
+    inner: &Inner<S, D>,
+    machine: Machine,
+    mut tree: DynamicDistRangeTree<D>,
+) -> (Machine, DynamicDistRangeTree<D>, bool) {
+    let mut next_seq: u64 = 0;
+    // Start from a clean slate so rollups cover exactly the service's
+    // dispatches.
+    machine.take_stats();
+    loop {
+        // Phase 1: wait for the group-commit condition (or a stop mode).
+        let (batch, expired) = {
+            let mut q = lock(&inner.queue);
+            loop {
+                match q.mode {
+                    Mode::Rejecting | Mode::Poisoned => {
+                        let poisoned = q.mode == Mode::Poisoned;
+                        let drained: Vec<Pending<S, D>> = q.q.drain(..).collect();
+                        drop(q);
+                        // Stats before resolution, here and in the
+                        // dispatch paths: a client that has observed its
+                        // response must also observe its effects in the
+                        // telemetry.
+                        lock(&inner.stats).completed += drained.len() as u64;
+                        for p in drained {
+                            p.op.fail(ServiceError::ShuttingDown);
+                        }
+                        return (machine, tree, poisoned);
+                    }
+                    Mode::Draining => {
+                        if q.q.is_empty() {
+                            return (machine, tree, false);
+                        }
+                        break; // dispatch immediately, no delay window
+                    }
+                    Mode::Running => {
+                        if q.q.is_empty() {
+                            q = inner
+                                .arrived
+                                .wait(q)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            continue;
+                        }
+                        if q.q.len() >= inner.cfg.max_batch {
+                            break;
+                        }
+                        let dispatch_at = q.q.front().unwrap().submitted + inner.cfg.max_delay;
+                        let now = Instant::now();
+                        if now >= dispatch_at {
+                            break;
+                        }
+                        let (guard, _) = inner
+                            .arrived
+                            .wait_timeout(q, dispatch_at - now)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        q = guard;
+                    }
+                }
+            }
+            carve(&mut q.q, inner.cfg.max_batch)
+        };
+
+        if !expired.is_empty() {
+            {
+                let mut st = lock(&inner.stats);
+                st.expired += expired.len() as u64;
+                st.completed += expired.len() as u64;
+            }
+            for p in expired {
+                p.op.fail(ServiceError::DeadlineExpired);
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        if batch[0].op.is_read() {
+            dispatch_reads(inner, &machine, &tree, batch, &mut next_seq);
+        } else {
+            dispatch_write_epoch(inner, &machine, &mut tree, batch, &mut next_seq);
+        }
+    }
+}
+
+/// Coalesce a run of read requests into one fused [`QueryBatch`] and
+/// distribute the results. One `Machine::run` for the whole batch — zero
+/// when the store is empty (the engine's short-circuit), in which case
+/// the dispatch is not counted in the telemetry either.
+fn dispatch_reads<S: Semigroup, const D: usize>(
+    inner: &Inner<S, D>,
+    machine: &Machine,
+    tree: &DynamicDistRangeTree<D>,
+    batch: Vec<Pending<S, D>>,
+    next_seq: &mut u64,
+) {
+    let mut qb = QueryBatch::new(inner.sg);
+    let mut slots: Vec<(ReadSlot<S>, Instant)> = Vec::with_capacity(batch.len());
+    for p in batch {
+        match p.op {
+            Op::Count(rect, r) => slots.push((ReadSlot::Count(qb.count(rect), r), p.submitted)),
+            Op::Aggregate(rect, r) => {
+                slots.push((ReadSlot::Agg(qb.aggregate(rect), r), p.submitted))
+            }
+            Op::Report(rect, r) => slots.push((ReadSlot::Report(qb.report(rect), r), p.submitted)),
+            Op::Insert(..) | Op::Delete(..) => unreachable!("carve() mixed writes into a read run"),
+        }
+    }
+    let n = slots.len() as u64;
+    let outcome = catch_unwind(AssertUnwindSafe(|| qb.try_execute_dynamic(machine, tree)));
+    let run_stats = machine.take_stats();
+    {
+        // Stats before resolution: a client that has observed its
+        // response must also observe its effects in the telemetry.
+        let mut st = lock(&inner.stats);
+        st.completed += n;
+        st.machine.absorb(&run_stats);
+        if run_stats.runs > 0 {
+            st.dispatches += 1;
+            st.queries_coalesced += n;
+            st.batch_sizes.record(n);
+        }
+        for (_, submitted) in &slots {
+            st.latency_us.record(submitted.elapsed().as_micros() as u64);
+        }
+    }
+    match outcome {
+        Ok(Ok(mut out)) => {
+            for (slot, _) in slots {
+                let seq = *next_seq;
+                *next_seq += 1;
+                match slot {
+                    ReadSlot::Count(i, r) => r.resolve(Ok(Commit { value: out.counts[i], seq })),
+                    ReadSlot::Agg(i, r) => {
+                        r.resolve(Ok(Commit { value: out.aggregates[i].take(), seq }))
+                    }
+                    ReadSlot::Report(i, r) => {
+                        r.resolve(Ok(Commit { value: std::mem::take(&mut out.reports[i]), seq }))
+                    }
+                }
+            }
+        }
+        Ok(Err(e)) => {
+            let err = ServiceError::Machine(e.to_string());
+            for (slot, _) in slots {
+                slot.fail(err.clone());
+            }
+        }
+        Err(payload) => {
+            // A host-side panic (not a simulated-processor one, which
+            // try_execute catches) — fail the batch but keep serving:
+            // reads do not mutate the store.
+            let err = ServiceError::Machine(panic_message(&*payload));
+            for (slot, _) in slots {
+                slot.fail(err.clone());
+            }
+        }
+    }
+}
+
+/// Apply a run of write requests as one epoch: validate each request in
+/// arrival order against the store plus the epoch's accumulated delta
+/// (sequential semantics), then apply at most one merged `delete_batch`
+/// and one merged `insert_batch` cascade.
+fn dispatch_write_epoch<S: Semigroup, const D: usize>(
+    inner: &Inner<S, D>,
+    machine: &Machine,
+    tree: &mut DynamicDistRangeTree<D>,
+    batch: Vec<Pending<S, D>>,
+    next_seq: &mut u64,
+) {
+    // Epoch delta over the store: Some(pt) = inserted this epoch (live),
+    // None = dead. Ids absent from the delta defer to the store.
+    let mut delta: BTreeMap<u32, Option<Point<D>>> = BTreeMap::new();
+    // Ids live in the store that a delete touched; they must be removed
+    // even if a later insert in the same epoch revives the id (the new
+    // point replaces the old one).
+    let mut tree_deleted: Vec<u32> = Vec::new();
+    let mut outcomes: Vec<(Resolver<()>, Result<(), BuildError>, Instant)> =
+        Vec::with_capacity(batch.len());
+    for p in batch {
+        match p.op {
+            Op::Insert(pts, r) => {
+                let mut verdict: Result<(), BuildError> = Ok(());
+                let mut seen: HashSet<u32> = HashSet::with_capacity(pts.len());
+                for pt in &pts {
+                    if pt.id == PAD_ID {
+                        verdict = Err(BuildError::ReservedId);
+                        break;
+                    }
+                    let live = match delta.get(&pt.id) {
+                        Some(Some(_)) => true,
+                        Some(None) => false,
+                        None => tree.contains_id(pt.id),
+                    };
+                    if live || !seen.insert(pt.id) {
+                        verdict = Err(BuildError::DuplicateId(pt.id));
+                        break;
+                    }
+                }
+                if verdict.is_ok() {
+                    for pt in pts {
+                        delta.insert(pt.id, Some(pt));
+                    }
+                }
+                outcomes.push((r, verdict, p.submitted));
+            }
+            Op::Delete(ids, r) => {
+                for id in ids {
+                    match delta.get(&id) {
+                        Some(Some(_)) => {
+                            delta.insert(id, None);
+                        }
+                        Some(None) => {}
+                        None => {
+                            if tree.contains_id(id) {
+                                tree_deleted.push(id);
+                                delta.insert(id, None);
+                            }
+                        }
+                    }
+                }
+                outcomes.push((r, Ok(()), p.submitted));
+            }
+            Op::Count(..) | Op::Aggregate(..) | Op::Report(..) => {
+                unreachable!("carve() mixed reads into a write run")
+            }
+        }
+    }
+
+    let inserts: Vec<Point<D>> = delta.values().filter_map(|v| *v).collect();
+    let applied = catch_unwind(AssertUnwindSafe(|| -> Result<(), BuildError> {
+        if !tree_deleted.is_empty() {
+            tree.delete_batch(machine, &tree_deleted)?;
+        }
+        if !inserts.is_empty() {
+            tree.insert_batch(machine, &inserts)?;
+        }
+        Ok(())
+    }));
+    let run_stats = machine.take_stats();
+    {
+        // Stats before resolution: a client that has observed its
+        // response must also observe its effects in the telemetry.
+        let mut st = lock(&inner.stats);
+        st.completed += outcomes.len() as u64;
+        st.machine.absorb(&run_stats);
+        if run_stats.runs > 0 {
+            st.write_epochs += 1;
+        }
+        for (_, _, submitted) in &outcomes {
+            st.latency_us.record(submitted.elapsed().as_micros() as u64);
+        }
+    }
+    match applied {
+        Ok(Ok(())) => {
+            for (r, verdict, _) in outcomes {
+                match verdict {
+                    Ok(()) => {
+                        let seq = *next_seq;
+                        *next_seq += 1;
+                        r.resolve(Ok(Commit { value: (), seq }));
+                    }
+                    // Rejected writes are no-ops; they carry no commit
+                    // position.
+                    Err(e) => r.resolve(Err(ServiceError::Rejected(e))),
+                }
+            }
+        }
+        other => {
+            // Pre-validation makes both failure arms unreachable in
+            // correct builds; if the cascade still failed the store may
+            // be mid-rebuild, so stop serving from it.
+            let msg = match other {
+                Ok(Err(e)) => format!("write epoch failed validation at apply time: {e}"),
+                Err(payload) => format!("write epoch panicked: {}", panic_message(&*payload)),
+                Ok(Ok(())) => unreachable!(),
+            };
+            lock(&inner.queue).mode = Mode::Poisoned;
+            inner.arrived.notify_all();
+            let err = ServiceError::Machine(msg);
+            for (r, _, _) in outcomes {
+                r.resolve(Err(err.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrs_rangetree::Sum;
+
+    fn pts(range: std::ops::Range<u32>) -> Vec<Point<2>> {
+        range
+            .map(|i| Point::weighted([((i * 193) % 777) as i64, ((i * 71) % 555) as i64], i, 2))
+            .collect()
+    }
+
+    fn quick_service(p: usize) -> Service<Sum, 2> {
+        let machine = Machine::new(p).unwrap();
+        let mut tree = DynamicDistRangeTree::<2>::new(16);
+        tree.insert_batch(&machine, &pts(0..48)).unwrap();
+        Service::start(
+            machine,
+            tree,
+            Sum,
+            ServiceConfig { max_delay: Duration::from_micros(100), ..ServiceConfig::default() },
+        )
+    }
+
+    #[test]
+    fn serves_all_three_read_modes() {
+        let service = quick_service(2);
+        let all = Rect::new([0, 0], [800, 600]);
+        let c = service.count(all).unwrap();
+        let a = service.aggregate(all).unwrap();
+        let r = service.report(Rect::new([0, 0], [0, 0])).unwrap();
+        assert_eq!(c.wait().unwrap().value, 48);
+        assert_eq!(a.wait().unwrap().value, Some(96));
+        assert_eq!(r.wait().unwrap().value, vec![0]); // point (0,0) is id 0
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn writes_commit_and_reads_observe_them() {
+        let service = quick_service(2);
+        let all = Rect::new([0, 0], [800, 600]);
+        service.insert(pts(100..110)).unwrap().wait().unwrap();
+        let c = service.count(all).unwrap().wait().unwrap();
+        assert_eq!(c.value, 58);
+        service.delete((100..105).collect()).unwrap().wait().unwrap();
+        assert_eq!(service.count(all).unwrap().wait().unwrap().value, 53);
+        let (_, tree) = service.shutdown();
+        assert_eq!(tree.len(), 53);
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected_sequentially() {
+        let service = quick_service(2);
+        // Id 5 is live in the base set.
+        let verdict = service.insert(pts(5..6)).unwrap().wait();
+        assert_eq!(verdict, Err(ServiceError::Rejected(BuildError::DuplicateId(5))));
+        // The store is unchanged and keeps serving.
+        assert_eq!(service.count(Rect::new([0, 0], [800, 600])).unwrap().wait().unwrap().value, 48);
+    }
+
+    #[test]
+    fn insert_delete_reinsert_in_one_epoch() {
+        // All three writes queue before the scheduler can wake: they land
+        // in one epoch and must still behave sequentially.
+        let machine = Machine::new(2).unwrap();
+        let mut tree = DynamicDistRangeTree::<2>::new(8);
+        tree.insert_batch(&machine, &pts(0..8)).unwrap();
+        let service = Service::start(
+            machine,
+            tree,
+            Sum,
+            ServiceConfig { max_delay: Duration::from_millis(50), ..ServiceConfig::default() },
+        );
+        // Delete id 3, then re-insert it at a new location.
+        let moved = vec![Point::weighted([700, 500], 3, 9)];
+        let t1 = service.delete(vec![3]).unwrap();
+        let t2 = service.insert(moved).unwrap();
+        let s1 = t1.wait().unwrap().seq;
+        let s2 = t2.wait().unwrap().seq;
+        assert!(s1 < s2, "epoch preserves arrival order in commit seqs");
+        let hit = service.report(Rect::new([700, 500], [700, 500])).unwrap().wait().unwrap();
+        assert_eq!(hit.value, vec![3]);
+        let (_, tree) = service.shutdown();
+        assert_eq!(tree.len(), 8);
+    }
+
+    #[test]
+    fn commit_seqs_are_dense_and_ordered() {
+        let service = quick_service(2);
+        let mut seqs: Vec<u64> = Vec::new();
+        for _ in 0..5 {
+            seqs.push(service.count(Rect::new([0, 0], [800, 600])).unwrap().wait().unwrap().seq);
+        }
+        let sorted = {
+            let mut s = seqs.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(seqs, sorted, "sequential submission commits in order");
+        assert_eq!(seqs, (seqs[0]..seqs[0] + 5).collect::<Vec<u64>>(), "seqs are dense");
+    }
+
+    #[test]
+    fn stats_snapshot_shape() {
+        let service = quick_service(2);
+        for _ in 0..10 {
+            service.count(Rect::new([0, 0], [800, 600])).unwrap().wait().unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.completed, 10);
+        assert!(stats.machine.runs >= 1);
+        assert!(stats.dispatches >= 1 && stats.dispatches <= 10);
+        assert_eq!(stats.queries_coalesced, 10);
+        assert!(stats.mean_batch_size() >= 1.0);
+        assert!(stats.latency_us.count() == 10);
+        assert_eq!(stats.queue_depth, 0);
+    }
+}

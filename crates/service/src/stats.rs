@@ -1,0 +1,186 @@
+//! Service telemetry: bounded-memory counters, histograms and rollups.
+//!
+//! Everything here is O(1) space per service regardless of traffic
+//! volume: scalar counters, fixed 64-bucket logarithmic histograms, and
+//! the `ddrs-cgm` [`RunStatsRollup`] for the machine-side quantities
+//! (runs, supersteps, max h-relation) the paper's bounds are stated in.
+
+use ddrs_cgm::RunStatsRollup;
+
+/// A fixed-size base-2 histogram over `u64` samples.
+///
+/// Bucket `i > 0` holds samples whose bit length is `i` (i.e. values in
+/// `[2^(i-1), 2^i)`); bucket 0 holds zeros. Quantiles are therefore
+/// resolved to within a factor of two — the right fidelity for latency
+/// tails and batch-size distributions at O(1) space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 64], count: 0, sum: 0 }
+    }
+}
+
+impl Histogram {
+    /// Record one sample. Public so harnesses comparing against the
+    /// service (e.g. the `repro` experiments) can measure their own
+    /// baselines with the same estimator the service telemetry uses.
+    pub fn record(&mut self, v: u64) {
+        let idx = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[idx.min(63)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`; 0 when the histogram is empty).
+    ///
+    /// The bound is exclusive-rounded-down: a return of `2^i - 1` means
+    /// the quantile sample was in `[2^(i-1), 2^i)`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { (1u64 << i.min(63)) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { (1u64 << i.min(63)) - 1 }, c))
+            .collect()
+    }
+}
+
+/// A point-in-time snapshot of the service's telemetry.
+///
+/// Obtained from `Service::stats`; all counters are cumulative since the
+/// service started.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that received a terminal response (success or error).
+    pub completed: u64,
+    /// Submissions rejected by admission control (`SubmitError::Overloaded`).
+    pub overloaded: u64,
+    /// Requests that expired in the queue (`ServiceError::DeadlineExpired`).
+    pub expired: u64,
+    /// Read batches that reached the machine (coalesced dispatches).
+    /// Batches answered without any SPMD run — an empty store, for
+    /// example — are *not* counted: the short-circuit contract is that
+    /// they cost nothing, machine runs included.
+    pub dispatches: u64,
+    /// Write epochs that reached the machine (merged cascades applied).
+    pub write_epochs: u64,
+    /// Queries answered through coalesced read dispatches.
+    pub queries_coalesced: u64,
+    /// Rollup of the machine-side statistics of every dispatch.
+    pub machine: RunStatsRollup,
+    /// Distribution of coalesced read-batch sizes (queries per dispatch).
+    pub batch_sizes: Histogram,
+    /// Distribution of request latencies, submit → response, in µs.
+    pub latency_us: Histogram,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+}
+
+impl ServiceStats {
+    /// Mean queries per coalesced read dispatch (0 before any dispatch).
+    pub fn mean_batch_size(&self) -> f64 {
+        self.batch_sizes.mean()
+    }
+
+    /// Queries answered per machine run — the service's coalescing
+    /// leverage over one-run-per-query dispatch (0 before any run).
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.machine.runs == 0 {
+            0.0
+        } else {
+            self.queries_coalesced as f64 / self.machine.runs as f64
+        }
+    }
+
+    /// Median request latency in µs (bucket upper bound).
+    pub fn p50_latency_us(&self) -> u64 {
+        self.latency_us.quantile(0.5)
+    }
+
+    /// 99th-percentile request latency in µs (bucket upper bound).
+    pub fn p99_latency_us(&self) -> u64 {
+        self.latency_us.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 21.0);
+        // 0 → bucket 0; 1,1 → [1,2); 3 → [2,4); 100 → [64,128).
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 2), (3, 1), (127, 1)]);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.record(10); // [8,16) → upper bound 15
+        }
+        h.record(1000); // [512,1024) → upper bound 1023
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(0.98), 15);
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(Histogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn coalescing_factor_and_batch_mean() {
+        let mut s = ServiceStats::default();
+        assert_eq!(s.coalescing_factor(), 0.0);
+        s.queries_coalesced = 120;
+        s.machine.runs = 3;
+        s.batch_sizes.record(40);
+        s.batch_sizes.record(40);
+        s.batch_sizes.record(40);
+        assert_eq!(s.coalescing_factor(), 40.0);
+        assert_eq!(s.mean_batch_size(), 40.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Future-like completion handles for submitted requests.
+//!
+//! A [`Ticket`] is the client half of a one-shot channel filled in by the
+//! scheduler thread; [`Resolver`] is the scheduler half. Tickets are
+//! plain blocking futures (no async runtime in this workspace): `wait`
+//! parks the calling thread until the scheduler resolves the request.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::ServiceError;
+
+/// A successfully committed response: the value plus the request's
+/// position in the service's serial commit order.
+///
+/// Commit sequence numbers are assigned densely in dispatch order; a
+/// replay of all committed requests in ascending `seq` against a
+/// sequential oracle reproduces every `value` exactly (the
+/// batch-serializability contract, pinned by `tests/service.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commit<T> {
+    /// The response value.
+    pub value: T,
+    /// Position in the service's serial commit order.
+    pub seq: u64,
+}
+
+enum State<T> {
+    Waiting,
+    Done(Result<Commit<T>, ServiceError>),
+    Taken,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
+    shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The client half: redeem it for the response with [`wait`](Ticket::wait).
+pub struct Ticket<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The scheduler half: resolves the paired [`Ticket`] exactly once.
+///
+/// Dropping an unresolved resolver resolves the ticket with
+/// [`ServiceError::ShuttingDown`] — a safety net that keeps clients from
+/// blocking forever if the scheduler abandons a request.
+pub(crate) struct Resolver<T> {
+    shared: Option<Arc<Shared<T>>>,
+}
+
+/// Create a connected ticket/resolver pair.
+pub(crate) fn ticket<T>() -> (Ticket<T>, Resolver<T>) {
+    let shared = Arc::new(Shared { state: Mutex::new(State::Waiting), cv: Condvar::new() });
+    (Ticket { shared: Arc::clone(&shared) }, Resolver { shared: Some(shared) })
+}
+
+impl<T> Resolver<T> {
+    /// Resolve the paired ticket and wake its waiter.
+    pub(crate) fn resolve(mut self, outcome: Result<Commit<T>, ServiceError>) {
+        let shared = self.shared.take().expect("resolver used twice");
+        *lock(&shared) = State::Done(outcome);
+        shared.cv.notify_all();
+    }
+}
+
+impl<T> Drop for Resolver<T> {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.take() {
+            *lock(&shared) = State::Done(Err(ServiceError::ShuttingDown));
+            shared.cv.notify_all();
+        }
+    }
+}
+
+impl<T> Ticket<T> {
+    /// Block until the service resolves this request.
+    pub fn wait(self) -> Result<Commit<T>, ServiceError> {
+        let mut state = lock(&self.shared);
+        loop {
+            match std::mem::replace(&mut *state, State::Taken) {
+                State::Done(outcome) => return outcome,
+                s @ State::Waiting => {
+                    *state = s;
+                    state = self
+                        .shared
+                        .cv
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                State::Taken => unreachable!("ticket waited twice"),
+            }
+        }
+    }
+
+    /// Block for at most `timeout`; returns the ticket back on timeout so
+    /// the caller can keep waiting later.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Commit<T>, ServiceError>, Self> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = lock(&self.shared);
+        loop {
+            match std::mem::replace(&mut *state, State::Taken) {
+                State::Done(outcome) => return Ok(outcome),
+                s @ State::Waiting => {
+                    *state = s;
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        drop(state);
+                        return Err(self);
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .cv
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    state = guard;
+                }
+                State::Taken => unreachable!("ticket waited twice"),
+            }
+        }
+    }
+
+    /// True once the service has resolved this request (`wait` will not
+    /// block).
+    pub fn is_done(&self) -> bool {
+        !matches!(*lock(&self.shared), State::Waiting)
+    }
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").field("done", &self.is_done()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_then_wait() {
+        let (t, r) = ticket::<u64>();
+        assert!(!t.is_done());
+        r.resolve(Ok(Commit { value: 7, seq: 3 }));
+        assert!(t.is_done());
+        assert_eq!(t.wait(), Ok(Commit { value: 7, seq: 3 }));
+    }
+
+    #[test]
+    fn wait_blocks_until_resolved_from_another_thread() {
+        let (t, r) = ticket::<Vec<u32>>();
+        let h = std::thread::spawn(move || t.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        r.resolve(Ok(Commit { value: vec![1, 2], seq: 0 }));
+        assert_eq!(h.join().unwrap(), Ok(Commit { value: vec![1, 2], seq: 0 }));
+    }
+
+    #[test]
+    fn timeout_returns_ticket_back() {
+        let (t, r) = ticket::<()>();
+        let t = t.wait_timeout(Duration::from_millis(5)).unwrap_err();
+        r.resolve(Err(ServiceError::DeadlineExpired));
+        assert_eq!(t.wait(), Err(ServiceError::DeadlineExpired));
+    }
+
+    #[test]
+    fn dropping_the_resolver_fails_the_ticket() {
+        let (t, r) = ticket::<u64>();
+        drop(r);
+        assert_eq!(t.wait(), Err(ServiceError::ShuttingDown));
+    }
+}

@@ -1,0 +1,328 @@
+//! Open-loop traffic generation for the serving layer.
+//!
+//! Closed-loop drivers (each client waits for its answer before sending
+//! the next request) can never expose queueing behaviour: offered load
+//! collapses to match service capacity. The serving front-end's
+//! micro-batching, admission control and latency tails only show up under
+//! an **open-loop** arrival process, where requests arrive on their own
+//! schedule regardless of completions. This module generates such
+//! schedules — Poisson (memoryless) and bursty on/off arrivals — plus a
+//! mixed read/write request stream to ride on them. Everything is seeded
+//! and deterministic, so service tests and benches are reproducible.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ddrs_rangetree::Point;
+
+use crate::queries::{MixedQuery, QueryDistribution, QueryWorkload};
+
+/// Shape of the arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival times with the
+    /// given mean rate.
+    Poisson {
+        /// Mean arrival rate in requests per second (> 0).
+        rate_hz: f64,
+    },
+    /// On/off bursts: Poisson arrivals at `rate_hz` during `on` windows,
+    /// silence during `off` windows. The duty cycle repeats; arrivals
+    /// falling into an off window are deferred to the next on window,
+    /// producing the synchronized request floods that stress admission
+    /// control.
+    Bursty {
+        /// Arrival rate inside an on window, in requests per second (> 0).
+        rate_hz: f64,
+        /// Length of each on window (> 0).
+        on: Duration,
+        /// Length of each off window.
+        off: Duration,
+    },
+}
+
+/// A deterministic open-loop arrival schedule: non-decreasing offsets
+/// from the trace start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    /// Arrival instants as offsets from the trace start, non-decreasing.
+    pub at: Vec<Duration>,
+}
+
+/// A uniform sample in `[0, 1)` from the raw generator (53 mantissa bits).
+fn unit_f64(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One exponential inter-arrival time (seconds) at the given rate.
+fn exp_interval(rng: &mut StdRng, rate_hz: f64) -> f64 {
+    // Inverse CDF; 1 - u is in (0, 1], so ln is finite.
+    -(1.0 - unit_f64(rng)).ln() / rate_hz
+}
+
+impl ArrivalTrace {
+    /// Generate `n` arrivals of the given process, deterministically in
+    /// `seed`.
+    pub fn generate(seed: u64, process: ArrivalProcess, n: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        let mut at = Vec::with_capacity(n);
+        match process {
+            ArrivalProcess::Poisson { rate_hz } => {
+                assert!(rate_hz > 0.0, "arrival rate must be positive");
+                for _ in 0..n {
+                    t += exp_interval(&mut rng, rate_hz);
+                    at.push(Duration::from_secs_f64(t));
+                }
+            }
+            ArrivalProcess::Bursty { rate_hz, on, off } => {
+                assert!(rate_hz > 0.0, "arrival rate must be positive");
+                let (on_s, off_s) = (on.as_secs_f64(), off.as_secs_f64());
+                assert!(on_s > 0.0, "on window must be non-empty");
+                let period = on_s + off_s;
+                // The Poisson clock only advances during on windows:
+                // `window` counts completed periods, `w` is the offset
+                // inside the current on window (strictly < on_s), so
+                // every arrival lands inside an on window by
+                // construction.
+                let mut window = 0u64;
+                let mut w = 0.0f64;
+                for _ in 0..n {
+                    w += exp_interval(&mut rng, rate_hz);
+                    while w >= on_s {
+                        w -= on_s;
+                        window += 1;
+                    }
+                    at.push(Duration::from_secs_f64(window as f64 * period + w));
+                }
+            }
+        }
+        ArrivalTrace { at }
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    /// True when the trace has no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.at.is_empty()
+    }
+
+    /// Time of the last arrival (zero for an empty trace).
+    pub fn span(&self) -> Duration {
+        self.at.last().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Realised mean arrival rate over the trace span, in requests per
+    /// second (0 for traces shorter than two arrivals).
+    pub fn mean_rate_hz(&self) -> f64 {
+        let span = self.span().as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.at.len() as f64 / span
+        }
+    }
+}
+
+/// One request of a service workload: a read in one of the three query
+/// modes, or a write batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceOp<const D: usize> {
+    /// A read — count, aggregate or report, per the carried mode.
+    Query(MixedQuery<D>),
+    /// An insert batch of fresh points.
+    Insert(Vec<Point<D>>),
+    /// A delete batch by id (ids may already be dead: deletes of missing
+    /// ids are no-ops, as in `DynamicDistRangeTree::delete_batch`).
+    Delete(Vec<u32>),
+}
+
+/// A request bound to its open-loop arrival instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedOp<const D: usize> {
+    /// Offset from the stream start at which the request arrives.
+    pub at: Duration,
+    /// The request itself.
+    pub op: ServiceOp<D>,
+}
+
+/// Knobs of the mixed read/write request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestMix {
+    /// Relative weights of (count, aggregate, report) among reads.
+    pub mode_weights: (u32, u32, u32),
+    /// Every `write_every`-th request is a write (0 disables writes).
+    pub write_every: usize,
+    /// Points per insert / ids per delete request.
+    pub write_batch: usize,
+}
+
+impl Default for RequestMix {
+    fn default() -> Self {
+        RequestMix { mode_weights: (1, 1, 1), write_every: 0, write_batch: 0 }
+    }
+}
+
+/// Build a deterministic mixed read/write request stream riding an
+/// [`ArrivalTrace`].
+///
+/// Reads are drawn from `queries` with the mix's mode weights. When
+/// writes are enabled, every `write_every`-th request alternates between
+/// an insert of the next `write_batch` unconsumed points from
+/// `fresh_points` (ids must be unused in the served store) and a delete
+/// of `write_batch` ids sampled from the stream's own earlier inserts.
+/// When `fresh_points` runs dry, would-be inserts become deletes, so the
+/// write cadence is preserved. The result is deterministic in `seed`.
+pub fn request_stream<const D: usize>(
+    seed: u64,
+    trace: &ArrivalTrace,
+    queries: &QueryWorkload<D>,
+    dist: QueryDistribution,
+    mix: RequestMix,
+    fresh_points: &[Point<D>],
+) -> Vec<TimedOp<D>> {
+    let n = trace.len();
+    let reads = queries.mixed(dist, mix.mode_weights, n);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7772_6974_655f_6d69);
+    let mut fresh = fresh_points.iter();
+    let mut inserted: Vec<u32> = Vec::new();
+    let mut insert_turn = true;
+    let mut out = Vec::with_capacity(n);
+    for (i, (at, read)) in trace.at.iter().zip(reads).enumerate() {
+        let is_write = mix.write_every > 0 && (i + 1) % mix.write_every == 0;
+        let op = if !is_write {
+            ServiceOp::Query(read)
+        } else {
+            let batch: Vec<Point<D>> = if insert_turn {
+                fresh.by_ref().take(mix.write_batch).copied().collect()
+            } else {
+                Vec::new()
+            };
+            insert_turn = !insert_turn;
+            if !batch.is_empty() {
+                inserted.extend(batch.iter().map(|p| p.id));
+                ServiceOp::Insert(batch)
+            } else if inserted.is_empty() {
+                // Nothing to delete yet either; keep it a read.
+                ServiceOp::Query(read)
+            } else {
+                let ids = (0..mix.write_batch)
+                    .map(|_| inserted[rng.random_range(0..inserted.len())])
+                    .collect();
+                ServiceOp::Delete(ids)
+            }
+        };
+        out.push(TimedOp { at: *at, op });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::{PointDistribution, WorkloadBuilder};
+
+    #[test]
+    fn poisson_is_deterministic_and_calibrated() {
+        let p = ArrivalProcess::Poisson { rate_hz: 10_000.0 };
+        let a = ArrivalTrace::generate(7, p, 5000);
+        let b = ArrivalTrace::generate(7, p, 5000);
+        assert_eq!(a, b, "same seed, same trace");
+        assert_ne!(a, ArrivalTrace::generate(8, p, 5000));
+        assert!(a.at.windows(2).all(|w| w[0] <= w[1]), "arrivals non-decreasing");
+        let rate = a.mean_rate_hz();
+        assert!(rate > 8_000.0 && rate < 12_000.0, "measured rate {rate}");
+    }
+
+    #[test]
+    fn bursty_arrivals_respect_off_windows() {
+        let on = Duration::from_millis(2);
+        let off = Duration::from_millis(8);
+        let tr =
+            ArrivalTrace::generate(3, ArrivalProcess::Bursty { rate_hz: 20_000.0, on, off }, 2000);
+        let period = (on + off).as_secs_f64();
+        for t in &tr.at {
+            let phase = t.as_secs_f64() % period;
+            assert!(
+                phase < on.as_secs_f64() + 1e-9,
+                "arrival at {t:?} falls in an off window (phase {phase})"
+            );
+        }
+        // The deferrals compress arrivals: realised rate exceeds the
+        // duty-cycle average.
+        assert!(tr.mean_rate_hz() > 2_000.0);
+    }
+
+    #[test]
+    fn request_stream_is_deterministic_and_mixes_writes() {
+        let pts = WorkloadBuilder::new(11, 512)
+            .points::<2>(PointDistribution::UniformCube { side: 1 << 12 });
+        let fresh = WorkloadBuilder::new(12, 256)
+            .points::<2>(PointDistribution::UniformCube { side: 1 << 12 });
+        // Fresh ids must not collide with the base set's.
+        let fresh: Vec<Point<2>> =
+            fresh.iter().map(|p| Point::weighted(p.coords, p.id + 10_000, p.weight)).collect();
+        let qw = QueryWorkload::from_points(&pts, 21);
+        let trace = ArrivalTrace::generate(5, ArrivalProcess::Poisson { rate_hz: 50_000.0 }, 400);
+        let mix = RequestMix { mode_weights: (1, 1, 1), write_every: 10, write_batch: 4 };
+        let dist = QueryDistribution::Selectivity { fraction: 0.05 };
+        let a = request_stream(9, &trace, &qw, dist, mix, &fresh);
+        let b = request_stream(9, &trace, &qw, dist, mix, &fresh);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_eq!(a.len(), 400);
+        let inserts: Vec<&Vec<Point<2>>> = a
+            .iter()
+            .filter_map(|t| match &t.op {
+                ServiceOp::Insert(pts) => Some(pts),
+                _ => None,
+            })
+            .collect();
+        let deletes: Vec<&Vec<u32>> = a
+            .iter()
+            .filter_map(|t| match &t.op {
+                ServiceOp::Delete(ids) => Some(ids),
+                _ => None,
+            })
+            .collect();
+        let writes = inserts.len() + deletes.len();
+        assert_eq!(writes, 400 / 10, "write cadence honoured");
+        assert!(!inserts.is_empty() && !deletes.is_empty(), "both write kinds appear");
+        // Insert ids are unique across the stream and drawn from `fresh`.
+        let mut seen = std::collections::HashSet::new();
+        let fresh_ids: std::collections::HashSet<u32> = fresh.iter().map(|p| p.id).collect();
+        for batch in &inserts {
+            for p in *batch {
+                assert!(seen.insert(p.id), "insert id {} repeated", p.id);
+                assert!(fresh_ids.contains(&p.id));
+            }
+        }
+        // Deletes only target ids the stream inserted earlier.
+        for batch in &deletes {
+            for id in *batch {
+                assert!(seen.contains(id), "delete of never-inserted id {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_stream_has_no_writes() {
+        let pts = WorkloadBuilder::new(1, 64)
+            .points::<2>(PointDistribution::UniformCube { side: 1 << 10 });
+        let qw = QueryWorkload::from_points(&pts, 2);
+        let trace = ArrivalTrace::generate(3, ArrivalProcess::Poisson { rate_hz: 1000.0 }, 50);
+        let stream = request_stream(
+            4,
+            &trace,
+            &qw,
+            QueryDistribution::PointProbe,
+            RequestMix::default(),
+            &[],
+        );
+        assert!(stream.iter().all(|t| matches!(t.op, ServiceOp::Query(_))));
+    }
+}

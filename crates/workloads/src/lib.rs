@@ -2,14 +2,18 @@
 //!
 //! The paper evaluates analytically; to *measure* its bounds the harness
 //! needs concrete inputs. This crate provides seeded, reproducible
-//! generators for point sets (uniform, clustered, grid, correlated) and
+//! generators for point sets (uniform, clustered, grid, correlated),
 //! range-query workloads (selectivity-calibrated boxes, hot-spot mixes
-//! that stress the multisearch load balancer, point probes).
+//! that stress the multisearch load balancer, point probes), and
+//! open-loop arrival schedules (Poisson / bursty on-off) with mixed
+//! read/write request streams for driving the serving layer.
 
+mod arrivals;
 mod points;
 mod queries;
 mod trace;
 
+pub use arrivals::{request_stream, ArrivalProcess, ArrivalTrace, RequestMix, ServiceOp, TimedOp};
 pub use points::{PointDistribution, WorkloadBuilder};
 pub use queries::{MixedQuery, QueryDistribution, QueryMode, QueryWorkload};
 pub use trace::CsvTable;

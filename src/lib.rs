@@ -16,7 +16,12 @@
 //! * [`engine`] — the mixed-mode query engine: heterogeneous
 //!   count/aggregate/report batches planned into one SPMD submission
 //!   (one [`Machine::run`](cgm::Machine::run) per client batch, however
-//!   many dynamization levels are occupied).
+//!   many dynamization levels are occupied),
+//! * [`service`] — the concurrent serving front-end: multi-producer
+//!   submission with future-like tickets, adaptive micro-batch
+//!   coalescing into fused runs, bounded-queue admission control,
+//!   per-request deadlines and epoch-scheduled updates with a
+//!   batch-serializability guarantee.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +48,7 @@ pub use ddrs_baselines as baselines;
 pub use ddrs_cgm as cgm;
 pub use ddrs_engine as engine;
 pub use ddrs_rangetree as rangetree;
+pub use ddrs_service as service;
 pub use ddrs_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used items.
@@ -50,10 +56,15 @@ pub mod prelude {
     pub use ddrs_baselines::{
         BruteForce, KdTree, LayeredRangeTree2d, ReplicatedRangeTree, WeightedDominance2d,
     };
-    pub use ddrs_cgm::{Machine, RunStats};
+    pub use ddrs_cgm::{Machine, RunStats, RunStatsRollup};
     pub use ddrs_engine::{BatchResults, QueryBatch};
     pub use ddrs_rangetree::{
         Count, DistRangeTree, DynamicDistRangeTree, Point, Rect, SeqRangeTree, Sum,
     };
-    pub use ddrs_workloads::{PointDistribution, QueryWorkload, WorkloadBuilder};
+    pub use ddrs_service::{
+        Commit, Service, ServiceConfig, ServiceError, ServiceStats, SubmitError, Ticket,
+    };
+    pub use ddrs_workloads::{
+        ArrivalProcess, ArrivalTrace, PointDistribution, QueryWorkload, WorkloadBuilder,
+    };
 }
