@@ -62,6 +62,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("a2", a2),
     ("e1", e1),
     ("e2", e2),
+    ("e3", e3),
 ];
 
 /// Figure 1: the segment tree structure for [1, 8].
@@ -774,6 +775,190 @@ fn e2() {
     match std::fs::write("BENCH_service.json", &json) {
         Ok(()) => println!("(json written to BENCH_service.json)"),
         Err(e) => eprintln!("warning: could not write BENCH_service.json: {e}"),
+    }
+}
+
+/// Sharding: open-loop throughput vs shard count S at fixed per-group p
+/// (the scatter-gather router over range-partitioned groups), plus the
+/// rebalance-pause measurement. Emits `BENCH_shard.json`.
+fn e3() {
+    use std::time::Instant;
+
+    let p = 1usize; // per shard group, fixed across the sweep
+    let clients = 8usize;
+    let n_requests = 1600usize;
+    let pts: Vec<Point<2>> = uniform_points(61, 1 << 13);
+    let qw = QueryWorkload::from_points(&pts, 67);
+    let queries = qw.queries(QueryDistribution::Selectivity { fraction: 0.005 }, n_requests);
+    let offered = 400_000.0f64; // saturating: arrivals outpace any config here
+
+    let run_sweep = |shards: usize| -> (f64, ddrs_shard::ShardedStats) {
+        let machines: Vec<Machine> = (0..shards).map(|_| Machine::new(p).unwrap()).collect();
+        let service = ddrs_shard::ShardedService::start(
+            machines,
+            1 << 9,
+            &pts,
+            Sum,
+            ddrs_shard::PartitionPolicy::range_from_sample(shards, &pts),
+            ddrs_shard::ShardedConfig {
+                max_batch: 128,
+                max_delay: std::time::Duration::from_micros(300),
+                queue_capacity: 1 << 16,
+                ..Default::default()
+            },
+        )
+        .expect("building the sharded store");
+        let trace =
+            ArrivalTrace::generate(13, ArrivalProcess::Poisson { rate_hz: offered }, n_requests);
+        let schedule: Vec<(std::time::Duration, ddrs_rangetree::Rect<2>)> =
+            trace.at.iter().copied().zip(queries.iter().copied()).collect();
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for k in 0..clients {
+                let service = &service;
+                let schedule = &schedule;
+                s.spawn(move || {
+                    let mut tickets = Vec::new();
+                    for (at, q) in schedule.iter().skip(k).step_by(clients) {
+                        let target = start + *at;
+                        let now = Instant::now();
+                        if target > now {
+                            std::thread::sleep(target - now);
+                        }
+                        tickets.push(service.count(*q).expect("submission rejected"));
+                    }
+                    for t in tickets {
+                        t.wait().unwrap();
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let stats = service.stats();
+        service.shutdown();
+        (n_requests as f64 / wall, stats)
+    };
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut rps_by_s = std::collections::BTreeMap::new();
+    for shards in [1usize, 2, 4] {
+        let (rps, stats) = run_sweep(shards);
+        rps_by_s.insert(shards, rps);
+        rows.push(vec![
+            shards.to_string(),
+            format!("{rps:.0}"),
+            format!("{:.1}", stats.mean_batch_size()),
+            format!("{:.1}", stats.coalescing_factor()),
+            stats.machine.runs.to_string(),
+            stats.p50_latency_us().to_string(),
+            stats.p99_latency_us().to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"shards\": {shards}, \"achieved_rps\": {rps:.1}, \"mean_batch\": {:.2}, \
+             \"queries_per_run\": {:.2}, \"machine_runs\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+            stats.mean_batch_size(),
+            stats.coalescing_factor(),
+            stats.machine.runs,
+            stats.p50_latency_us(),
+            stats.p99_latency_us(),
+        ));
+    }
+
+    // Rebalance pause: pile everything onto one shard of a two-group
+    // service, then measure the wall time of one skew-healing split
+    // while the service keeps its serving loop (the split runs between
+    // dispatches — the pause is what a client-visible request would
+    // wait behind the migration).
+    let machines: Vec<Machine> = (0..2).map(|_| Machine::new(p).unwrap()).collect();
+    let service = ddrs_shard::ShardedService::start(
+        machines,
+        1 << 9,
+        &pts, // bounds put every point on shard 0
+        Sum,
+        ddrs_shard::PartitionPolicy::Range { bounds: vec![i64::MAX] },
+        ddrs_shard::ShardedConfig::default(),
+    )
+    .expect("building the rebalance store");
+    let t0 = Instant::now();
+    let report = service.split_shard(0).unwrap().wait().unwrap().value;
+    let pause_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let probe = service
+        .count(ddrs_rangetree::Rect::new([i64::MIN, i64::MIN], [i64::MAX, i64::MAX]))
+        .unwrap();
+    let post_split_count = probe.wait().unwrap().value;
+    assert_eq!(post_split_count, pts.len() as u64, "no point lost in migration");
+    service.shutdown();
+
+    rows.push(vec![
+        format!("split {}→{}", report.from, report.to),
+        format!("{:.1}ms", pause_ms),
+        report.moved.to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    print_table(
+        &format!(
+            "E3 — sharding: open-loop count throughput vs S (p = {p} per group, \
+             {clients} clients, {n_requests} queries)"
+        ),
+        &["S", "achieved rps", "mean batch", "q/run", "runs", "p50 µs", "p99 µs"],
+        &rows,
+    );
+    let speedup = rps_by_s[&4] / rps_by_s[&1];
+    // The PR 3 reference point: the unsharded service's saturation rps
+    // as recorded by experiment e2 (one p = 8 group). Crude but
+    // dependency-free extraction: the largest achieved_rps in the file.
+    let reference = std::fs::read_to_string("BENCH_service.json")
+        .ok()
+        .map(|text| {
+            text.match_indices("\"achieved_rps\":")
+                .filter_map(|(i, key)| {
+                    let rest = &text[i + key.len()..];
+                    let num: String = rest
+                        .trim_start()
+                        .chars()
+                        .take_while(|c| c.is_ascii_digit() || *c == '.')
+                        .collect();
+                    num.parse::<f64>().ok()
+                })
+                .fold(0.0f64, f64::max)
+        })
+        .filter(|&r| r > 0.0);
+    let vs_reference = reference.map(|r| rps_by_s[&4] / r);
+    println!(
+        "\nclaim: the sharded router sustains multiples of the single-group\n\
+         service's saturation (S=4 at p=1/group: {:.0} rps vs the e2\n\
+         reference {}; goal ≥ 2×, measured {}). On this time-sliced host\n\
+         the S sweep itself is near-flat (S=4 vs S=1: {speedup:.2}×) — the\n\
+         win comes from partitioned stores and tiny per-group machines,\n\
+         not wall-clock parallelism, which a multicore host would add.\n\
+         A skew-healing split migrates {} points with a {pause_ms:.1}ms\n\
+         pause, serving before and after.",
+        rps_by_s[&4],
+        reference.map_or("<BENCH_service.json missing>".into(), |r| format!("{r:.0} rps")),
+        vs_reference.map_or("n/a".into(), |x| format!("{x:.2}×")),
+        report.moved
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"e3\",\n  \"p_per_shard\": {p},\n  \"clients\": {clients},\n  \
+         \"requests\": {n_requests},\n  \"offered_rps\": {offered:.0},\n  \"sweep\": [\n{}\n  ],\n  \
+         \"speedup_s4_vs_s1\": {speedup:.2},\n  \
+         \"reference_service_saturation_rps\": {},\n  \
+         \"speedup_s4_vs_service_reference\": {},\n  \
+         \"rebalance\": {{\"from\": {}, \"to\": {}, \"moved\": {}, \"pause_ms\": {pause_ms:.2}}}\n}}\n",
+        json_rows.join(",\n"),
+        reference.map_or("null".into(), |r| format!("{r:.1}")),
+        vs_reference.map_or("null".into(), |x| format!("{x:.2}")),
+        report.from,
+        report.to,
+        report.moved,
+    );
+    match std::fs::write("BENCH_shard.json", &json) {
+        Ok(()) => println!("(json written to BENCH_shard.json)"),
+        Err(e) => eprintln!("warning: could not write BENCH_shard.json: {e}"),
     }
 }
 

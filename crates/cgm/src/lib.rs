@@ -65,7 +65,7 @@ pub mod model;
 
 pub use ctx::Ctx;
 pub use error::CgmError;
-pub use machine::Machine;
+pub use machine::{panic_message, Machine};
 pub use payload::{shallow_words, slice_words, Payload};
 pub use stats::{RoundStat, RunStats, RunStatsRollup};
 

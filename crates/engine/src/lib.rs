@@ -100,6 +100,28 @@ impl<S: Semigroup, const D: usize> QueryBatch<S, D> {
         self.reports.len() - 1
     }
 
+    /// Assemble a batch from pre-split per-mode query lists. Query `i`
+    /// of each list lands at index `i` of the corresponding
+    /// [`BatchResults`] vector — the contract the sharded router relies
+    /// on when it splits one client batch into per-shard sub-batches
+    /// and maps partial results back by index.
+    pub fn from_parts(
+        sg: S,
+        counts: Vec<Rect<D>>,
+        aggs: Vec<Rect<D>>,
+        reports: Vec<Rect<D>>,
+    ) -> Self {
+        QueryBatch { sg, counts, aggs, reports }
+    }
+
+    /// The per-mode query lists `(counts, aggregates, reports)` in
+    /// result-index order — the inverse of
+    /// [`from_parts`](QueryBatch::from_parts), for planners that need to
+    /// introspect an assembled batch.
+    pub fn parts(&self) -> (&[Rect<D>], &[Rect<D>], &[Rect<D>]) {
+        (&self.counts, &self.aggs, &self.reports)
+    }
+
     /// Total queries across all modes.
     pub fn len(&self) -> usize {
         self.counts.len() + self.aggs.len() + self.reports.len()
@@ -250,6 +272,27 @@ mod tests {
         assert_eq!(a.counts, b.counts);
         assert_eq!(a.aggregates, b.aggregates);
         assert_eq!(a.reports, b.reports);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_matches_builder() {
+        let machine = Machine::new(2).unwrap();
+        let tree = DistRangeTree::<2>::build(&machine, &pts(0..40)).unwrap();
+        let all = Rect::new([0, 0], [800, 600]);
+        let corner = Rect::new([0, 0], [100, 100]);
+        let batch = QueryBatch::from_parts(Sum, vec![all, corner], vec![all], vec![corner]);
+        let (c, a, r) = batch.parts();
+        assert_eq!((c.len(), a.len(), r.len()), (2, 1, 1));
+        assert_eq!(c[1], corner);
+        let mut built = QueryBatch::new(Sum);
+        built.count(all);
+        built.count(corner);
+        built.aggregate(all);
+        built.report(corner);
+        let (x, y) = (batch.execute(&machine, &tree), built.execute(&machine, &tree));
+        assert_eq!(x.counts, y.counts);
+        assert_eq!(x.aggregates, y.aggregates);
+        assert_eq!(x.reports, y.reports);
     }
 
     #[test]

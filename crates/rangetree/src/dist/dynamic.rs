@@ -97,19 +97,50 @@ impl<const D: usize> DynamicDistRangeTree<D> {
     /// Delete points by id (ids not present are ignored). The surviving
     /// points are repacked and rebuilt, keeping every query mode exact.
     pub fn delete_batch(&mut self, machine: &Machine, ids: &[u32]) -> Result<(), BuildError> {
+        self.extract_batch(machine, ids).map(|_| ())
+    }
+
+    /// Delete points by id and hand the removed points back (ids not
+    /// present are ignored). The surviving points are repacked and
+    /// rebuilt exactly as by [`delete_batch`](Self::delete_batch).
+    ///
+    /// This is the donor side of shard migration (`ddrs-shard`): a
+    /// subtree of points leaves this store and is re-inserted into a
+    /// sibling store, so the extraction must return the full points —
+    /// coordinates, ids and weights — not just acknowledge the ids.
+    pub fn extract_batch(
+        &mut self,
+        machine: &Machine,
+        ids: &[u32],
+    ) -> Result<Vec<Point<D>>, BuildError> {
         if ids.is_empty() {
-            return Ok(());
+            return Ok(Vec::new());
         }
         let dead: HashSet<u32> = ids.iter().copied().collect();
         let mut live: Vec<Point<D>> = Vec::new();
+        let mut removed: Vec<Point<D>> = Vec::new();
         for level in self.levels.drain(..).flatten() {
-            live.extend(level.pts.into_iter().filter(|p| !dead.contains(&p.id)));
+            for p in level.pts {
+                if dead.contains(&p.id) {
+                    removed.push(p);
+                } else {
+                    live.push(p);
+                }
+            }
         }
         self.ids.retain(|id| !dead.contains(id));
         if live.is_empty() {
-            return Ok(());
+            return Ok(removed);
         }
-        self.place(machine, live)
+        self.place(machine, live)?;
+        Ok(removed)
+    }
+
+    /// All live points, in unspecified order. A read-only snapshot used
+    /// by migration planning (choosing which subtree of points to move
+    /// between shard groups) and by state export.
+    pub fn points(&self) -> impl Iterator<Item = &Point<D>> + '_ {
+        self.levels.iter().flatten().flat_map(|level| level.pts.iter())
     }
 
     /// Number of live points.
@@ -286,6 +317,40 @@ mod tests {
         assert_eq!(out.reports, t.report_batch(&machine, &qs));
         // Each per-mode call above was itself one run.
         assert_eq!(machine.take_stats().runs, 3);
+    }
+
+    #[test]
+    fn extract_returns_the_removed_points() {
+        let machine = Machine::new(2).unwrap();
+        let mut t = DynamicDistRangeTree::<2>::new(8);
+        let all = pts(0..20);
+        t.insert_batch(&machine, &all).unwrap();
+        let mut removed = t.extract_batch(&machine, &[3, 7, 11, 999]).unwrap();
+        removed.sort_unstable_by_key(|p| p.id);
+        assert_eq!(removed.len(), 3, "missing ids are ignored");
+        for (p, id) in removed.iter().zip([3u32, 7, 11]) {
+            assert_eq!(p.id, id);
+            assert_eq!(*p, all[id as usize], "extraction preserves coords and weight");
+        }
+        assert_eq!(t.len(), 17);
+        assert!(!t.contains_id(7));
+        // The extracted points can be re-inserted (migration round-trip).
+        t.insert_batch(&machine, &removed).unwrap();
+        assert_eq!(t.len(), 20);
+        let q = Rect::new([0, 0], [800, 600]);
+        assert_eq!(t.count_batch(&machine, &[q]), vec![20]);
+    }
+
+    #[test]
+    fn points_iterates_every_live_point() {
+        let machine = Machine::new(2).unwrap();
+        let mut t = DynamicDistRangeTree::<2>::new(4);
+        assert_eq!(t.points().count(), 0);
+        t.insert_batch(&machine, &pts(0..9)).unwrap();
+        t.delete_batch(&machine, &[2, 4]).unwrap();
+        let mut ids: Vec<u32> = t.points().map(|p| p.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 3, 5, 6, 7, 8]);
     }
 
     /// Empty and trivial batches must not pay any machine dispatch.

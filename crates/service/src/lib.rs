@@ -77,7 +77,7 @@ mod stats;
 mod ticket;
 
 pub use stats::{Histogram, ServiceStats};
-pub use ticket::{Commit, Ticket};
+pub use ticket::{ticket, Commit, Resolver, Ticket};
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -85,11 +85,9 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ddrs_cgm::Machine;
+use ddrs_cgm::{panic_message, Machine};
 use ddrs_engine::QueryBatch;
 use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Rect, Semigroup, PAD_ID};
-
-use ticket::{ticket, Resolver};
 
 /// Tuning knobs of the serving layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -525,16 +523,6 @@ impl<S: Semigroup> ReadSlot<S> {
             ReadSlot::Agg(_, r) => r.resolve(Err(e)),
             ReadSlot::Report(_, r) => r.resolve(Err(e)),
         }
-    }
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
-        (*s).to_string()
-    } else {
-        "<non-string panic payload>".to_string()
     }
 }
 

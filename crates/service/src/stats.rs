@@ -9,15 +9,29 @@ use ddrs_cgm::RunStatsRollup;
 
 /// A fixed-size base-2 histogram over `u64` samples.
 ///
-/// Bucket `i > 0` holds samples whose bit length is `i` (i.e. values in
-/// `[2^(i-1), 2^i)`); bucket 0 holds zeros. Quantiles are therefore
-/// resolved to within a factor of two — the right fidelity for latency
-/// tails and batch-size distributions at O(1) space.
+/// Bucket `i` in `1..63` holds samples whose bit length is `i` (i.e.
+/// values in `[2^(i-1), 2^i)`); bucket 0 holds zeros; bucket 63 is the
+/// *saturating* top bucket and holds everything in `[2^62, u64::MAX]`
+/// (both 63- and 64-bit samples), with upper bound reported as
+/// `u64::MAX`. Quantiles are therefore resolved to within a factor of
+/// two — the right fidelity for latency tails and batch-size
+/// distributions at O(1) space.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 64],
     count: u64,
     sum: u64,
+}
+
+/// Upper bound reported for bucket `i`: 0 for the zero bucket,
+/// `2^i - 1` for the interior buckets, `u64::MAX` for the saturating
+/// top bucket.
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        63 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
 }
 
 impl Default for Histogram {
@@ -52,10 +66,18 @@ impl Histogram {
     }
 
     /// Upper bound of the bucket containing the `q`-quantile sample
-    /// (`q` in `[0, 1]`; 0 when the histogram is empty).
+    /// (`q` clamped to `[0, 1]`).
     ///
     /// The bound is exclusive-rounded-down: a return of `2^i - 1` means
-    /// the quantile sample was in `[2^(i-1), 2^i)`.
+    /// the quantile sample was in `[2^(i-1), 2^i)`; a return of
+    /// `u64::MAX` means it landed in the saturating top bucket
+    /// `[2^62, u64::MAX]`.
+    ///
+    /// Edge cases are pinned, not unspecified: an **empty** histogram
+    /// returns 0 for every `q` (there is no sample to bound, and 0 is
+    /// the identity the dashboards expect), and a **single-sample**
+    /// histogram returns that sample's bucket bound for every `q` —
+    /// p50 and p99 of one observation are the observation.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -65,7 +87,7 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return if i == 0 { 0 } else { (1u64 << i.min(63)) - 1 };
+                return bucket_upper(i);
             }
         }
         u64::MAX
@@ -77,8 +99,18 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (if i == 0 { 0 } else { (1u64 << i.min(63)) - 1 }, c))
+            .map(|(i, &c)| (bucket_upper(i), c))
             .collect()
+    }
+
+    /// Fold another histogram into this one (used by the sharded
+    /// front-end to combine per-shard telemetry).
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
     }
 }
 
@@ -169,6 +201,74 @@ mod tests {
         assert_eq!(h.quantile(0.98), 15);
         assert_eq!(h.quantile(1.0), 1023);
         assert_eq!(Histogram::default().quantile(0.5), 0);
+    }
+
+    /// Pin the empty-histogram contract: every quantile of zero samples
+    /// is 0 (previously unspecified).
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+        let s = ServiceStats::default();
+        assert_eq!(s.p50_latency_us(), 0);
+        assert_eq!(s.p99_latency_us(), 0);
+    }
+
+    /// Pin the single-sample contract: every quantile is the sample's
+    /// bucket bound (p50 and p99 of one observation are the observation).
+    #[test]
+    fn single_sample_quantiles_are_the_sample() {
+        let mut h = Histogram::default();
+        h.record(10); // [8,16) → upper bound 15
+        for q in [0.0, 0.001, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 15);
+        }
+        let mut z = Histogram::default();
+        z.record(0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(z.quantile(q), 0);
+        }
+    }
+
+    /// Pin the saturating top bucket: 63- and 64-bit samples share
+    /// bucket 63, whose reported upper bound is u64::MAX (previously it
+    /// claimed 2^63 - 1, *below* some of its samples).
+    #[test]
+    fn top_bucket_saturates_with_honest_upper_bound() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        h.record((1u64 << 62) + 1);
+        assert_eq!(h.nonzero_buckets(), vec![(u64::MAX, 3)]);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // The largest non-saturating bucket still reports 2^62 - 1.
+        let mut g = Histogram::default();
+        g.record((1u64 << 62) - 1);
+        assert_eq!(g.nonzero_buckets(), vec![((1u64 << 62) - 1, 1)]);
+        // Sum saturates instead of wrapping.
+        assert_eq!(h.mean(), u64::MAX as f64 / 3.0);
+    }
+
+    #[test]
+    fn absorb_merges_buckets_counts_and_sums() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [0, 1, 100] {
+            a.record(v);
+        }
+        for v in [1, 3, u64::MAX] {
+            b.record(v);
+        }
+        a.absorb(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.nonzero_buckets(), vec![(0, 1), (1, 2), (3, 1), (127, 1), (u64::MAX, 1)]);
+        assert_eq!(a.quantile(1.0), u64::MAX);
     }
 
     #[test]

@@ -50,22 +50,35 @@ pub struct Ticket<T> {
 /// Dropping an unresolved resolver resolves the ticket with
 /// [`ServiceError::ShuttingDown`] — a safety net that keeps clients from
 /// blocking forever if the scheduler abandons a request.
-pub(crate) struct Resolver<T> {
+///
+/// Public so alternative serving front-ends (e.g. the sharded
+/// scatter-gather router in `ddrs-shard`) can hand out the same
+/// [`Ticket`] API without re-implementing the channel.
+pub struct Resolver<T> {
     shared: Option<Arc<Shared<T>>>,
 }
 
 /// Create a connected ticket/resolver pair.
-pub(crate) fn ticket<T>() -> (Ticket<T>, Resolver<T>) {
+///
+/// Public for the same reason as [`Resolver`]: front-ends layered over
+/// (or beside) [`Service`](crate::Service) mint tickets with it.
+pub fn ticket<T>() -> (Ticket<T>, Resolver<T>) {
     let shared = Arc::new(Shared { state: Mutex::new(State::Waiting), cv: Condvar::new() });
     (Ticket { shared: Arc::clone(&shared) }, Resolver { shared: Some(shared) })
 }
 
 impl<T> Resolver<T> {
     /// Resolve the paired ticket and wake its waiter.
-    pub(crate) fn resolve(mut self, outcome: Result<Commit<T>, ServiceError>) {
+    pub fn resolve(mut self, outcome: Result<Commit<T>, ServiceError>) {
         let shared = self.shared.take().expect("resolver used twice");
         *lock(&shared) = State::Done(outcome);
         shared.cv.notify_all();
+    }
+}
+
+impl<T> std::fmt::Debug for Resolver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resolver").field("resolved", &self.shared.is_none()).finish()
     }
 }
 

@@ -1,0 +1,1665 @@
+//! # ddrs-shard — the multi-group scatter-gather router
+//!
+//! One `Machine` + one store + one scheduler (the `ddrs-service` stack)
+//! saturates at whatever a single SPMD group can sustain. This crate adds
+//! the next scaling axis: the id/key domain is partitioned across `S`
+//! *shard groups*, each owning its own [`Machine`], its own
+//! [`DynamicDistRangeTree`] and its own scheduler thread, behind a single
+//! [`ShardedService`] façade with the same `Ticket`/`Commit { value, seq }`
+//! API as the unsharded service:
+//!
+//! ```text
+//!  client threads        router thread                 shard groups
+//!  ──────────────   ┌──────────────────────┐   ┌───────────────────────┐
+//!  count(q) ───┐    │ group-commit window  │   │ shard 0: Machine +    │
+//!  insert(b) ──┼──▶ │  (max_batch /        │──▶│  tree + scheduler     │
+//!  report(q) ──┘    │   max_delay)         │   ├───────────────────────┤
+//!     │             │                      │   │ shard 1: Machine + …  │
+//!     ▼             │ reads → per-shard    │   ├───────────────────────┤
+//!  Ticket::wait ◀───│  fused sub-batches,  │   │ …                     │
+//!  (value, global   │  scatter ∥ gather,   │   ├───────────────────────┤
+//!   commit seq)     │  merge partials      │   │ shard S-1             │
+//!                   │ writes → routed      │   └───────────────────────┘
+//!                   │  sub-epochs          │     each sub-batch: ≤ 1
+//!                   └──────────────────────┘     Machine::run per shard
+//! ```
+//!
+//! ## Routing and merging
+//!
+//! * **Reads.** A coalesced read window is planned into at most one fused
+//!   sub-batch per shard ([`ddrs_engine::QueryBatch`]), so a mixed
+//!   cross-shard read batch costs **at most `S` machine runs** however
+//!   many queries it coalesced. Under the range policy a query is sent
+//!   only to the slabs its first-axis interval overlaps, clipped at the
+//!   shard boundaries; under hash placement it fans out to every shard.
+//!   Partials merge deterministically: counts sum, aggregates fold with
+//!   the (commutative) semigroup, report ids concatenate and sort
+//!   ascending — byte-identical to the unsharded answer.
+//! * **Writes.** Each write routes by key: inserts to the placement
+//!   policy's shard, deletes to the owning shard (the router keeps the
+//!   authoritative id → shard index). A write window applies as one
+//!   sub-epoch per touched shard, scattered in parallel.
+//! * **Global sequence.** The router assigns every committed response a
+//!   position in one *global* commit order, exactly like the unsharded
+//!   service: replaying committed requests in `seq` order through a
+//!   sequential oracle reproduces every response — the serializability
+//!   invariant survives sharding because the router is the only client
+//!   of every shard group and never lets reads and writes overlap.
+//!
+//! ## Failure containment
+//!
+//! A simulated-processor panic during a *read* fails only the requests
+//! that needed the failing shard. A panic during a *write sub-epoch*
+//! aborts the whole epoch: every request in it fails, sub-epochs already
+//! applied on healthy shards are **rolled back** (their extracted points
+//! re-inserted, their fresh inserts deleted), and the failing shard is
+//! **poisoned** — quarantined from all further traffic while its
+//! siblings keep serving. Committed history is never contradicted.
+//!
+//! ## Rebalancing
+//!
+//! [`ShardedService::split_shard`] migrates the upper or lower half of a
+//! shard's points (split on the first axis, ties kept together) to a
+//! sibling, updating the ownership index — and, under the range policy,
+//! the slab boundary — atomically between dispatches, so in-flight
+//! requests commit before or after the migration, never astride it. A
+//! skew trigger ([`ShardedConfig::rebalance_factor`]) runs the same
+//! migration automatically after a write epoch leaves a shard holding
+//! more than `factor ×` the mean.
+//!
+//! ## Example
+//!
+//! ```
+//! use ddrs_cgm::Machine;
+//! use ddrs_rangetree::{Point, Rect, Sum};
+//! use ddrs_shard::{PartitionPolicy, ShardedConfig, ShardedService};
+//!
+//! let machines: Vec<Machine> = (0..2).map(|_| Machine::new(2).unwrap()).collect();
+//! let pts: Vec<Point<2>> =
+//!     (0..64).map(|i| Point::weighted([i, 63 - i], i as u32, 1)).collect();
+//! let service = ShardedService::start(
+//!     machines,
+//!     16,
+//!     &pts,
+//!     Sum,
+//!     PartitionPolicy::range_uniform(2, 0, 64),
+//!     ShardedConfig::default(),
+//! )
+//! .unwrap();
+//! // Cross-shard scatter-gather: the rect spans both slabs.
+//! let c = service.count(Rect::new([0, 0], [63, 63])).unwrap();
+//! assert_eq!(c.wait().unwrap().value, 64);
+//! let parts = service.shutdown();
+//! assert_eq!(parts.iter().map(|(_, t)| t.len()).sum::<usize>(), 64);
+//! ```
+
+#![warn(missing_docs)]
+
+mod partition;
+mod stats;
+mod worker;
+
+pub use partition::PartitionPolicy;
+pub use stats::{ShardSnapshot, ShardedStats};
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ddrs_cgm::Machine;
+use ddrs_engine::{BatchResults, QueryBatch};
+use ddrs_rangetree::semigroup::comb_opt;
+use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Rect, Semigroup, PAD_ID};
+use ddrs_service::{ticket, Commit, Resolver, ServiceError, SubmitError, Ticket};
+
+use partition::Partitioner;
+use worker::{spawn_worker, ReadReply, ShardJob, SplitReply, WorkerHandle, WriteReply};
+
+/// Tuning knobs of the sharded serving layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedConfig {
+    /// Dispatch as soon as this many requests are pending. Must be ≥ 1.
+    pub max_batch: usize,
+    /// Dispatch once the oldest pending request has waited this long.
+    pub max_delay: Duration,
+    /// Admission bound: submissions beyond this queue depth are rejected
+    /// with [`SubmitError::Overloaded`]. Must be ≥ 1.
+    pub queue_capacity: usize,
+    /// Skew trigger: after a committed write epoch, if the largest shard
+    /// holds more than `rebalance_factor ×` the mean live-point count
+    /// (and at least [`rebalance_min`](Self::rebalance_min) points), the
+    /// router splits it toward a lighter sibling. `0.0` disables
+    /// automatic rebalancing; values ≤ 1.0 make no sense and are treated
+    /// as disabled.
+    pub rebalance_factor: f64,
+    /// Minimum donor size for an automatic split.
+    pub rebalance_min: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            max_batch: 64,
+            max_delay: Duration::from_micros(500),
+            queue_capacity: 4096,
+            rebalance_factor: 0.0,
+            rebalance_min: 64,
+        }
+    }
+}
+
+/// Outcome of a completed shard-split migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitReport {
+    /// The shard that shrank.
+    pub from: usize,
+    /// The sibling that received the migrated points.
+    pub to: usize,
+    /// How many points moved.
+    pub moved: usize,
+    /// The axis-0 split coordinate. Under the range policy this is also
+    /// the new slab boundary between the two shards.
+    pub boundary: i64,
+}
+
+/// One request as it sits in the router queue.
+enum Op<S: Semigroup, const D: usize> {
+    Count(Rect<D>, Resolver<u64>),
+    Aggregate(Rect<D>, Resolver<Option<S::Val>>),
+    Report(Rect<D>, Resolver<Vec<u32>>),
+    Insert(Vec<Point<D>>, Resolver<()>),
+    Delete(Vec<u32>, Resolver<()>),
+    Split(usize, Resolver<SplitReport>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Read,
+    Write,
+    Split,
+}
+
+impl<S: Semigroup, const D: usize> Op<S, D> {
+    fn kind(&self) -> Kind {
+        match self {
+            Op::Count(..) | Op::Aggregate(..) | Op::Report(..) => Kind::Read,
+            Op::Insert(..) | Op::Delete(..) => Kind::Write,
+            Op::Split(..) => Kind::Split,
+        }
+    }
+
+    fn fail(self, e: ServiceError) {
+        match self {
+            Op::Count(_, r) => r.resolve(Err(e)),
+            Op::Aggregate(_, r) => r.resolve(Err(e)),
+            Op::Report(_, r) => r.resolve(Err(e)),
+            Op::Insert(_, r) => r.resolve(Err(e)),
+            Op::Delete(_, r) => r.resolve(Err(e)),
+            Op::Split(_, r) => r.resolve(Err(e)),
+        }
+    }
+}
+
+struct Pending<S: Semigroup, const D: usize> {
+    op: Op<S, D>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Running,
+    Draining,
+    Rejecting,
+}
+
+struct Queue<S: Semigroup, const D: usize> {
+    q: VecDeque<Pending<S, D>>,
+    mode: Mode,
+}
+
+struct Inner<S: Semigroup, const D: usize> {
+    cfg: ShardedConfig,
+    sg: S,
+    queue: Mutex<Queue<S, D>>,
+    arrived: Condvar,
+    stats: Mutex<ShardedStats>,
+    /// Shards whose next write sub-epoch should suffer an injected
+    /// mid-epoch processor panic (deterministic fault injection for the
+    /// test harness).
+    faults: Mutex<HashSet<usize>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The per-shard state handed back by [`ShardedService::dismantle`]:
+/// the group's machine, its store, and its quarantine reason if a write
+/// sub-epoch failed mid-apply (a poisoned store may be inconsistent).
+#[derive(Debug)]
+pub struct ShardParts<const D: usize> {
+    /// The shard group's machine.
+    pub machine: Machine,
+    /// The shard group's store.
+    pub tree: DynamicDistRangeTree<D>,
+    /// `Some(reason)` if the shard was poisoned.
+    pub poisoned: Option<String>,
+}
+
+/// The sharded serving front-end: `S` shard groups behind one
+/// serializable façade.
+///
+/// Submission methods take `&self` from any thread and return the same
+/// [`Ticket`]s as the unsharded [`ddrs_service::Service`]; every
+/// committed response carries a position in one *global* commit order
+/// (see the crate docs for the serializability contract).
+pub struct ShardedService<S: Semigroup, const D: usize> {
+    inner: Arc<Inner<S, D>>,
+    router: Option<JoinHandle<Vec<ShardParts<D>>>>,
+    shards: usize,
+}
+
+impl<S: Semigroup, const D: usize> ShardedService<S, D> {
+    /// Start the service: one shard group per machine, bulk-loading
+    /// `initial` (partitioned by `policy`) in parallel across the
+    /// groups, each store with rebuild unit `capacity`.
+    ///
+    /// Returns the same validation errors a sequential `insert_batch` of
+    /// `initial` would (duplicate or reserved ids).
+    ///
+    /// # Panics
+    /// Panics if `machines` is empty, a config bound is zero, or a range
+    /// policy's boundary list does not match the machine count.
+    pub fn start(
+        machines: Vec<Machine>,
+        capacity: usize,
+        initial: &[Point<D>],
+        sg: S,
+        policy: PartitionPolicy,
+        cfg: ShardedConfig,
+    ) -> Result<Self, BuildError> {
+        assert!(!machines.is_empty(), "need at least one shard machine");
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.queue_capacity >= 1, "queue_capacity must be at least 1");
+        let shards = machines.len();
+        let part = Partitioner::new(policy, shards);
+
+        let mut owner: HashMap<u32, usize> = HashMap::with_capacity(initial.len());
+        let mut parts: Vec<Vec<Point<D>>> = vec![Vec::new(); shards];
+        for p in initial {
+            if p.id == PAD_ID {
+                return Err(BuildError::ReservedId);
+            }
+            let sh = part.place(p);
+            if owner.insert(p.id, sh).is_some() {
+                return Err(BuildError::DuplicateId(p.id));
+            }
+            parts[sh].push(*p);
+        }
+        let shard_len: Vec<usize> = parts.iter().map(Vec::len).collect();
+
+        let workers: Vec<WorkerHandle<S, D>> = machines
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| spawn_worker(i, m, DynamicDistRangeTree::<D>::new(capacity)))
+            .collect();
+
+        // Parallel bulk load; construction statistics are not part of
+        // the service telemetry (mirrors the unsharded service, whose
+        // stats cover exactly its own dispatches).
+        let (tx, rx) = mpsc::channel();
+        let mut loading = 0usize;
+        for (sh, pts) in parts.into_iter().enumerate() {
+            if pts.is_empty() {
+                continue;
+            }
+            loading += 1;
+            workers[sh]
+                .tx
+                .send(ShardJob::Write {
+                    deletes: Vec::new(),
+                    inserts: pts,
+                    inject_fault: false,
+                    reply: tx.clone(),
+                })
+                .expect("shard worker died during bulk load");
+        }
+        drop(tx);
+        for _ in 0..loading {
+            let reply: WriteReply<D> = rx.recv().expect("shard worker died during bulk load");
+            if let Err(e) = reply.result {
+                panic!("initial bulk load failed on shard {}: {e}", reply.shard);
+            }
+        }
+
+        let inner = Arc::new(Inner {
+            cfg,
+            sg,
+            queue: Mutex::new(Queue { q: VecDeque::new(), mode: Mode::Running }),
+            arrived: Condvar::new(),
+            stats: Mutex::new(ShardedStats {
+                per_shard: shard_len
+                    .iter()
+                    .map(|&n| ShardSnapshot { live_points: n, ..Default::default() })
+                    .collect(),
+                range_bounds: part.bounds(),
+                ..Default::default()
+            }),
+            faults: Mutex::new(HashSet::new()),
+        });
+        let router_state =
+            Router { workers, part, owner, shard_len, poisoned: vec![None; shards], next_seq: 0 };
+        let sched_inner = Arc::clone(&inner);
+        let router = std::thread::Builder::new()
+            .name("ddrs-shard-router".into())
+            .spawn(move || router_loop(&sched_inner, router_state))
+            .expect("spawning the shard router");
+        Ok(ShardedService { inner, router: Some(router), shards })
+    }
+
+    /// Number of shard groups.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn enqueue<T>(
+        &self,
+        deadline: Option<Duration>,
+        make: impl FnOnce(Resolver<T>) -> Op<S, D>,
+    ) -> Result<Ticket<T>, SubmitError> {
+        let now = Instant::now();
+        let mut q = lock(&self.inner.queue);
+        if q.mode != Mode::Running {
+            return Err(SubmitError::ShutDown);
+        }
+        if q.q.len() >= self.inner.cfg.queue_capacity {
+            let depth = q.q.len();
+            lock(&self.inner.stats).overloaded += 1;
+            return Err(SubmitError::Overloaded { depth });
+        }
+        let (t, r) = ticket();
+        q.q.push_back(Pending { op: make(r), submitted: now, deadline: deadline.map(|d| now + d) });
+        self.inner.arrived.notify_all();
+        lock(&self.inner.stats).submitted += 1;
+        Ok(t)
+    }
+
+    /// Submit a counting query.
+    pub fn count(&self, q: Rect<D>) -> Result<Ticket<u64>, SubmitError> {
+        self.count_within(q, None)
+    }
+
+    /// Submit a counting query with an optional queueing deadline.
+    pub fn count_within(
+        &self,
+        q: Rect<D>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<u64>, SubmitError> {
+        self.enqueue(deadline, |r| Op::Count(q, r))
+    }
+
+    /// Submit an associative-function (semigroup aggregation) query.
+    pub fn aggregate(&self, q: Rect<D>) -> Result<Ticket<Option<S::Val>>, SubmitError> {
+        self.aggregate_within(q, None)
+    }
+
+    /// Submit an aggregation query with an optional queueing deadline.
+    pub fn aggregate_within(
+        &self,
+        q: Rect<D>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<Option<S::Val>>, SubmitError> {
+        self.enqueue(deadline, |r| Op::Aggregate(q, r))
+    }
+
+    /// Submit a report query (matching ids, ascending — merged across
+    /// shards into the same order the unsharded service returns).
+    pub fn report(&self, q: Rect<D>) -> Result<Ticket<Vec<u32>>, SubmitError> {
+        self.report_within(q, None)
+    }
+
+    /// Submit a report query with an optional queueing deadline.
+    pub fn report_within(
+        &self,
+        q: Rect<D>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<Vec<u32>>, SubmitError> {
+        self.enqueue(deadline, |r| Op::Report(q, r))
+    }
+
+    /// Submit an insert batch; points are routed to their placement
+    /// shards. Resolves [`ServiceError::Rejected`] exactly as a
+    /// sequential `insert_batch` at the same commit position would.
+    pub fn insert(&self, pts: Vec<Point<D>>) -> Result<Ticket<()>, SubmitError> {
+        self.insert_within(pts, None)
+    }
+
+    /// Submit an insert batch with an optional queueing deadline.
+    pub fn insert_within(
+        &self,
+        pts: Vec<Point<D>>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<()>, SubmitError> {
+        self.enqueue(deadline, |r| Op::Insert(pts, r))
+    }
+
+    /// Submit a delete batch by id (missing ids are no-ops); ids are
+    /// routed to their owning shards.
+    pub fn delete(&self, ids: Vec<u32>) -> Result<Ticket<()>, SubmitError> {
+        self.delete_within(ids, None)
+    }
+
+    /// Submit a delete batch with an optional queueing deadline.
+    pub fn delete_within(
+        &self,
+        ids: Vec<u32>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<()>, SubmitError> {
+        self.enqueue(deadline, |r| Op::Delete(ids, r))
+    }
+
+    /// Request a split of shard `donor`: half its points (split on the
+    /// first axis) migrate to a lighter sibling between two dispatches,
+    /// so no in-flight request observes a half-migrated store. Resolves
+    /// with the migration report, or [`ServiceError::Machine`] if the
+    /// split is impossible (single-point shard, all points sharing one
+    /// coordinate, no healthy sibling).
+    pub fn split_shard(&self, donor: usize) -> Result<Ticket<SplitReport>, SubmitError> {
+        assert!(donor < self.shards, "split_shard: no shard {donor}");
+        self.enqueue(None, |r| Op::Split(donor, r))
+    }
+
+    /// Deterministic fault injection for tests and harnesses: the next
+    /// write sub-epoch dispatched to `shard` executes an SPMD program in
+    /// which one simulated processor panics *between* the delete and
+    /// insert cascades (via `Machine::try_run`), poisoning that shard
+    /// while its siblings keep serving.
+    pub fn fail_next_write_epoch(&self, shard: usize) {
+        assert!(shard < self.shards, "fail_next_write_epoch: no shard {shard}");
+        lock(&self.inner.faults).insert(shard);
+    }
+
+    /// Snapshot the service telemetry.
+    pub fn stats(&self) -> ShardedStats {
+        let depth = lock(&self.inner.queue).q.len();
+        let mut snap = lock(&self.inner.stats).clone();
+        snap.queue_depth = depth;
+        snap
+    }
+
+    fn stop(&mut self, mode: Mode) -> Vec<ShardParts<D>> {
+        {
+            let mut q = lock(&self.inner.queue);
+            if q.mode == Mode::Running {
+                q.mode = mode;
+            }
+            self.inner.arrived.notify_all();
+        }
+        self.router
+            .take()
+            .expect("sharded service already stopped")
+            .join()
+            .expect("shard router panicked")
+    }
+
+    /// Begin a graceful shutdown without blocking: new submissions fail
+    /// from this point on while already queued requests are served.
+    pub fn begin_shutdown(&self) {
+        let mut q = lock(&self.inner.queue);
+        if q.mode == Mode::Running {
+            q.mode = Mode::Draining;
+        }
+        self.inner.arrived.notify_all();
+    }
+
+    /// Stop accepting work, serve everything queued, then hand back each
+    /// group's machine and store, in shard order.
+    ///
+    /// # Panics
+    /// Panics if any shard was poisoned (a failed write sub-epoch left
+    /// its store possibly inconsistent); use
+    /// [`dismantle`](ShardedService::dismantle) to recover the healthy
+    /// shards around a poisoned one.
+    pub fn shutdown(mut self) -> Vec<(Machine, DynamicDistRangeTree<D>)> {
+        let parts = self.stop(Mode::Draining);
+        parts
+            .into_iter()
+            .map(|p| {
+                if let Some(reason) = p.poisoned {
+                    panic!("shard store poisoned: {reason}");
+                }
+                (p.machine, p.tree)
+            })
+            .collect()
+    }
+
+    /// Stop accepting work and reject everything queued, then hand back
+    /// each group's machine and store.
+    ///
+    /// # Panics
+    /// Panics if any shard was poisoned, as with
+    /// [`shutdown`](ShardedService::shutdown).
+    pub fn abort(mut self) -> Vec<(Machine, DynamicDistRangeTree<D>)> {
+        let parts = self.stop(Mode::Rejecting);
+        parts
+            .into_iter()
+            .map(|p| {
+                if let Some(reason) = p.poisoned {
+                    panic!("shard store poisoned: {reason}");
+                }
+                (p.machine, p.tree)
+            })
+            .collect()
+    }
+
+    /// Stop (rejecting queued work) and hand back *every* shard's parts,
+    /// poisoned or not — the forensic exit the fault harness uses to
+    /// inspect healthy siblings around a quarantined shard.
+    pub fn dismantle(mut self) -> Vec<ShardParts<D>> {
+        self.stop(Mode::Rejecting)
+    }
+}
+
+impl<S: Semigroup, const D: usize> Drop for ShardedService<S, D> {
+    fn drop(&mut self) {
+        if self.router.is_some() {
+            let _ = self.stop(Mode::Draining);
+        }
+    }
+}
+
+impl<S: Semigroup, const D: usize> std::fmt::Debug for ShardedService<S, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedService")
+            .field("shards", &self.shards)
+            .field("d", &D)
+            .field("queue_depth", &lock(&self.inner.queue).q.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------
+
+struct Router<S: Semigroup, const D: usize> {
+    workers: Vec<WorkerHandle<S, D>>,
+    part: Partitioner,
+    /// Authoritative id → owning shard index for every live point.
+    owner: HashMap<u32, usize>,
+    shard_len: Vec<usize>,
+    poisoned: Vec<Option<String>>,
+    next_seq: u64,
+}
+
+impl<S: Semigroup, const D: usize> Router<S, D> {
+    fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Publish per-shard health and sizes into the shared stats.
+    fn publish(&self, inner: &Inner<S, D>) {
+        let mut st = lock(&inner.stats);
+        for (i, snap) in st.per_shard.iter_mut().enumerate() {
+            snap.live_points = self.shard_len[i];
+            snap.poisoned = self.poisoned[i].clone();
+        }
+        st.range_bounds = self.part.bounds();
+    }
+}
+
+/// Pop the dispatchable prefix: expired requests plus the longest
+/// same-kind run, capped at `max_batch` (splits dispatch alone).
+fn carve<S: Semigroup, const D: usize>(
+    q: &mut VecDeque<Pending<S, D>>,
+    max_batch: usize,
+) -> (Vec<Pending<S, D>>, Vec<Pending<S, D>>) {
+    let now = Instant::now();
+    let mut expired = Vec::new();
+    let mut batch: Vec<Pending<S, D>> = Vec::new();
+    let mut kind: Option<Kind> = None;
+    while batch.len() < max_batch {
+        let Some(front) = q.front() else { break };
+        if front.deadline.is_some_and(|d| d <= now) {
+            expired.push(q.pop_front().unwrap());
+            continue;
+        }
+        let k = front.op.kind();
+        match kind {
+            None => kind = Some(k),
+            Some(prev) if prev != k => break,
+            _ => {}
+        }
+        batch.push(q.pop_front().unwrap());
+        if k == Kind::Split {
+            break;
+        }
+    }
+    (batch, expired)
+}
+
+fn router_loop<S: Semigroup, const D: usize>(
+    inner: &Inner<S, D>,
+    mut router: Router<S, D>,
+) -> Vec<ShardParts<D>> {
+    loop {
+        let (batch, expired) = {
+            let mut q = lock(&inner.queue);
+            loop {
+                match q.mode {
+                    Mode::Rejecting => {
+                        let drained: Vec<Pending<S, D>> = q.q.drain(..).collect();
+                        drop(q);
+                        lock(&inner.stats).completed += drained.len() as u64;
+                        for p in drained {
+                            p.op.fail(ServiceError::ShuttingDown);
+                        }
+                        return stop_workers(router);
+                    }
+                    Mode::Draining => {
+                        if q.q.is_empty() {
+                            return stop_workers(router);
+                        }
+                        break;
+                    }
+                    Mode::Running => {
+                        if q.q.is_empty() {
+                            q = inner
+                                .arrived
+                                .wait(q)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            continue;
+                        }
+                        if q.q.len() >= inner.cfg.max_batch {
+                            break;
+                        }
+                        let dispatch_at = q.q.front().unwrap().submitted + inner.cfg.max_delay;
+                        let now = Instant::now();
+                        if now >= dispatch_at {
+                            break;
+                        }
+                        let (guard, _) = inner
+                            .arrived
+                            .wait_timeout(q, dispatch_at - now)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        q = guard;
+                    }
+                }
+            }
+            carve(&mut q.q, inner.cfg.max_batch)
+        };
+
+        if !expired.is_empty() {
+            {
+                let mut st = lock(&inner.stats);
+                st.expired += expired.len() as u64;
+                st.completed += expired.len() as u64;
+            }
+            for p in expired {
+                p.op.fail(ServiceError::DeadlineExpired);
+            }
+        }
+        let Some(first) = batch.first() else { continue };
+        match first.op.kind() {
+            Kind::Read => dispatch_reads(inner, &mut router, batch),
+            Kind::Write => dispatch_write_epoch(inner, &mut router, batch),
+            Kind::Split => {
+                debug_assert_eq!(batch.len(), 1);
+                let Some(Pending { op: Op::Split(donor, resolver), submitted, .. }) =
+                    batch.into_iter().next()
+                else {
+                    unreachable!("split batch without a split op")
+                };
+                let outcome = do_split(inner, &mut router, donor);
+                {
+                    let mut st = lock(&inner.stats);
+                    st.completed += 1;
+                    st.latency_us.record(submitted.elapsed().as_micros() as u64);
+                }
+                // Publish before resolution: the split's effects must be
+                // visible in the telemetry by the time its ticket resolves.
+                router.publish(inner);
+                match outcome {
+                    Ok(report) => {
+                        let seq = router.next_seq;
+                        router.next_seq += 1;
+                        resolver.resolve(Ok(Commit { value: report, seq }));
+                    }
+                    Err(e) => resolver.resolve(Err(ServiceError::Machine(e))),
+                }
+            }
+        }
+    }
+}
+
+fn stop_workers<S: Semigroup, const D: usize>(router: Router<S, D>) -> Vec<ShardParts<D>> {
+    let Router { workers, poisoned, .. } = router;
+    let mut parts = Vec::with_capacity(workers.len());
+    for (handle, poison) in workers.into_iter().zip(poisoned) {
+        let (tx, rx) = mpsc::channel();
+        handle.tx.send(ShardJob::Stop { reply: tx }).expect("shard worker died before stop");
+        let (machine, tree) = rx.recv().expect("shard worker dropped its stop reply");
+        handle.join.join().expect("shard worker panicked");
+        parts.push(ShardParts { machine, tree, poisoned: poison });
+    }
+    parts
+}
+
+/// Per-read bookkeeping: where each request's partials live, as
+/// `(shard, index into that shard's per-mode results)`.
+type PartRefs = Vec<(usize, usize)>;
+
+enum RSlot<S: Semigroup> {
+    Count(PartRefs, Resolver<u64>),
+    Agg(PartRefs, Resolver<Option<S::Val>>),
+    Report(PartRefs, Resolver<Vec<u32>>),
+    /// The request's fan-out touched a poisoned shard; it fails without
+    /// reaching any machine.
+    Unavailable(Box<dyn FnOnce(ServiceError) + Send>, String),
+}
+
+/// Scatter a coalesced read window into at most one fused sub-batch per
+/// shard, gather the partials, and merge them in arrival order under
+/// one global sequence.
+fn dispatch_reads<S: Semigroup, const D: usize>(
+    inner: &Inner<S, D>,
+    router: &mut Router<S, D>,
+    batch: Vec<Pending<S, D>>,
+) {
+    let shards = router.shards();
+    let mut plans: Vec<(Vec<Rect<D>>, Vec<Rect<D>>, Vec<Rect<D>>)> =
+        vec![(Vec::new(), Vec::new(), Vec::new()); shards];
+    let mut slots: Vec<(RSlot<S>, Instant)> = Vec::with_capacity(batch.len());
+
+    for p in batch {
+        let rect = match &p.op {
+            Op::Count(q, _) | Op::Aggregate(q, _) | Op::Report(q, _) => *q,
+            _ => unreachable!("carve() mixed non-reads into a read run"),
+        };
+        let fan = router.part.read_fanout(&rect);
+        if let Some(bad) = fan.clone().find(|&s| router.poisoned[s].is_some()) {
+            let reason = router.poisoned[bad].clone().unwrap_or_default();
+            let msg = format!("shard {bad} is poisoned: {reason}");
+            let fail: Box<dyn FnOnce(ServiceError) + Send> = match p.op {
+                Op::Count(_, r) => Box::new(move |e| r.resolve(Err(e))),
+                Op::Aggregate(_, r) => Box::new(move |e| r.resolve(Err(e))),
+                Op::Report(_, r) => Box::new(move |e| r.resolve(Err(e))),
+                _ => unreachable!(),
+            };
+            slots.push((RSlot::Unavailable(fail, msg), p.submitted));
+            continue;
+        }
+        let mut parts: PartRefs = Vec::new();
+        match p.op {
+            Op::Count(_, r) => {
+                for s in fan {
+                    plans[s].0.push(router.part.clip(s, &rect));
+                    parts.push((s, plans[s].0.len() - 1));
+                }
+                slots.push((RSlot::Count(parts, r), p.submitted));
+            }
+            Op::Aggregate(_, r) => {
+                for s in fan {
+                    plans[s].1.push(router.part.clip(s, &rect));
+                    parts.push((s, plans[s].1.len() - 1));
+                }
+                slots.push((RSlot::Agg(parts, r), p.submitted));
+            }
+            Op::Report(_, r) => {
+                for s in fan {
+                    plans[s].2.push(router.part.clip(s, &rect));
+                    parts.push((s, plans[s].2.len() - 1));
+                }
+                slots.push((RSlot::Report(parts, r), p.submitted));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // Scatter: all sub-batches go out before any reply is awaited, so
+    // the shard groups execute concurrently.
+    let (tx, rx) = mpsc::channel::<ReadReply<S>>();
+    let mut sent = 0usize;
+    for (s, (counts, aggs, reports)) in plans.into_iter().enumerate() {
+        if counts.is_empty() && aggs.is_empty() && reports.is_empty() {
+            continue;
+        }
+        let qb = QueryBatch::from_parts(inner.sg, counts, aggs, reports);
+        router.workers[s]
+            .tx
+            .send(ShardJob::Reads { batch: qb, reply: tx.clone() })
+            .expect("shard worker died");
+        sent += 1;
+    }
+    drop(tx);
+
+    // Gather.
+    let mut results: Vec<Option<Result<BatchResults<S>, String>>> =
+        (0..shards).map(|_| None).collect();
+    let mut runs_total = 0u64;
+    for _ in 0..sent {
+        let reply = rx.recv().expect("shard worker dropped a read reply");
+        runs_total += reply.stats.runs as u64;
+        {
+            let mut st = lock(&inner.stats);
+            st.machine.absorb(&reply.stats);
+            st.per_shard[reply.shard].machine.absorb(&reply.stats);
+        }
+        results[reply.shard] = Some(reply.result);
+    }
+
+    // Coalescing telemetry counts only the queries that were actually
+    // planned onto a machine: unroutable slots (poisoned fan-out) and
+    // degenerate rects answered locally would inflate mean_batch_size
+    // and coalescing_factor.
+    let planned: u64 = slots
+        .iter()
+        .map(|(slot, _)| match slot {
+            RSlot::Count(parts, _) | RSlot::Report(parts, _) => !parts.is_empty() as u64,
+            RSlot::Agg(parts, _) => !parts.is_empty() as u64,
+            RSlot::Unavailable(..) => 0,
+        })
+        .sum();
+    {
+        let mut st = lock(&inner.stats);
+        st.completed += slots.len() as u64;
+        if runs_total > 0 {
+            st.dispatches += 1;
+            st.queries_coalesced += planned;
+            st.batch_sizes.record(planned);
+        }
+        for (_, submitted) in &slots {
+            st.latency_us.record(submitted.elapsed().as_micros() as u64);
+        }
+    }
+
+    // Merge in arrival order; commits take global sequence numbers.
+    let part_error =
+        |parts: &PartRefs, results: &[Option<Result<BatchResults<S>, String>>]| -> Option<String> {
+            parts.iter().find_map(|&(s, _)| match &results[s] {
+                Some(Err(e)) => Some(format!("shard {s}: {e}")),
+                _ => None,
+            })
+        };
+    for (slot, _) in slots {
+        match slot {
+            RSlot::Unavailable(fail, msg) => fail(ServiceError::Machine(msg)),
+            RSlot::Count(parts, r) => {
+                if let Some(e) = part_error(&parts, &results) {
+                    r.resolve(Err(ServiceError::Machine(e)));
+                    continue;
+                }
+                let total: u64 = parts
+                    .iter()
+                    .map(|&(s, i)| match &results[s] {
+                        Some(Ok(out)) => out.counts[i],
+                        _ => unreachable!("missing read partial"),
+                    })
+                    .sum();
+                let seq = router.next_seq;
+                router.next_seq += 1;
+                r.resolve(Ok(Commit { value: total, seq }));
+            }
+            RSlot::Agg(parts, r) => {
+                if let Some(e) = part_error(&parts, &results) {
+                    r.resolve(Err(ServiceError::Machine(e)));
+                    continue;
+                }
+                let mut acc: Option<S::Val> = None;
+                for &(s, i) in &parts {
+                    let part = match &mut results[s] {
+                        Some(Ok(out)) => out.aggregates[i].take(),
+                        _ => unreachable!("missing read partial"),
+                    };
+                    acc = comb_opt(&inner.sg, acc, part);
+                }
+                let seq = router.next_seq;
+                router.next_seq += 1;
+                r.resolve(Ok(Commit { value: acc, seq }));
+            }
+            RSlot::Report(parts, r) => {
+                if let Some(e) = part_error(&parts, &results) {
+                    r.resolve(Err(ServiceError::Machine(e)));
+                    continue;
+                }
+                let mut ids: Vec<u32> = Vec::new();
+                for &(s, i) in &parts {
+                    match &mut results[s] {
+                        Some(Ok(out)) => ids.append(&mut out.reports[i]),
+                        _ => unreachable!("missing read partial"),
+                    }
+                }
+                // Shards are disjoint, so a sort restores exactly the
+                // unsharded ascending order.
+                ids.sort_unstable();
+                let seq = router.next_seq;
+                router.next_seq += 1;
+                r.resolve(Ok(Commit { value: ids, seq }));
+            }
+        }
+    }
+    router.publish(inner);
+}
+
+/// Per-request validation verdict inside a write epoch.
+enum Verdict {
+    Commit,
+    Rejected(BuildError),
+    /// The request needed a poisoned shard; it fails before any routing
+    /// and mutates nothing.
+    Unavailable(String),
+}
+
+/// Validate a run of writes sequentially, scatter them as one sub-epoch
+/// per touched shard, and either commit all of them under the global
+/// sequence or abort the whole epoch (rolling back healthy shards,
+/// poisoning failed ones).
+fn dispatch_write_epoch<S: Semigroup, const D: usize>(
+    inner: &Inner<S, D>,
+    router: &mut Router<S, D>,
+    batch: Vec<Pending<S, D>>,
+) {
+    // Epoch delta: Some((pt, shard)) = live, inserted this epoch at
+    // `shard`; None = dead. Ids absent defer to the ownership index.
+    let mut delta: BTreeMap<u32, Option<(Point<D>, usize)>> = BTreeMap::new();
+    let mut tree_deleted: Vec<Vec<u32>> = vec![Vec::new(); router.shards()];
+    let mut outcomes: Vec<(Resolver<()>, Verdict, Instant)> = Vec::with_capacity(batch.len());
+
+    for p in batch {
+        match p.op {
+            Op::Insert(pts, r) => {
+                let mut verdict = Verdict::Commit;
+                let mut seen: HashSet<u32> = HashSet::with_capacity(pts.len());
+                let mut placements: Vec<usize> = Vec::with_capacity(pts.len());
+                for pt in &pts {
+                    if pt.id == PAD_ID {
+                        verdict = Verdict::Rejected(BuildError::ReservedId);
+                        break;
+                    }
+                    let live = match delta.get(&pt.id) {
+                        Some(Some(_)) => true,
+                        Some(None) => false,
+                        None => router.owner.contains_key(&pt.id),
+                    };
+                    if live || !seen.insert(pt.id) {
+                        verdict = Verdict::Rejected(BuildError::DuplicateId(pt.id));
+                        break;
+                    }
+                    let sh = router.part.place(pt);
+                    if let Some(reason) = &router.poisoned[sh] {
+                        verdict = Verdict::Unavailable(format!("shard {sh} is poisoned: {reason}"));
+                        break;
+                    }
+                    placements.push(sh);
+                }
+                if matches!(verdict, Verdict::Commit) {
+                    for (pt, sh) in pts.into_iter().zip(placements) {
+                        delta.insert(pt.id, Some((pt, sh)));
+                    }
+                }
+                outcomes.push((r, verdict, p.submitted));
+            }
+            Op::Delete(ids, r) => {
+                // First pass: the delete must not touch a poisoned
+                // shard; if it would, it fails atomically (no partial
+                // application anywhere).
+                let bad = ids.iter().find_map(|id| match delta.get(id) {
+                    Some(_) => None,
+                    None => {
+                        router.owner.get(id).filter(|&&sh| router.poisoned[sh].is_some()).copied()
+                    }
+                });
+                if let Some(sh) = bad {
+                    let reason = router.poisoned[sh].clone().unwrap_or_default();
+                    outcomes.push((
+                        r,
+                        Verdict::Unavailable(format!("shard {sh} is poisoned: {reason}")),
+                        p.submitted,
+                    ));
+                    continue;
+                }
+                for id in ids {
+                    match delta.get(&id) {
+                        Some(Some(_)) => {
+                            delta.insert(id, None);
+                        }
+                        Some(None) => {}
+                        None => {
+                            if let Some(&sh) = router.owner.get(&id) {
+                                tree_deleted[sh].push(id);
+                                delta.insert(id, None);
+                            }
+                        }
+                    }
+                }
+                outcomes.push((r, Verdict::Commit, p.submitted));
+            }
+            _ => unreachable!("carve() mixed non-writes into a write run"),
+        }
+    }
+
+    // Route the net effect: one sub-epoch per touched shard.
+    let mut inserts: Vec<Vec<Point<D>>> = vec![Vec::new(); router.shards()];
+    for (pt, sh) in delta.values().flatten() {
+        inserts[*sh].push(*pt);
+    }
+    let involved: Vec<usize> = (0..router.shards())
+        .filter(|&s| !tree_deleted[s].is_empty() || !inserts[s].is_empty())
+        .collect();
+
+    let resolve_all = |outcomes: Vec<(Resolver<()>, Verdict, Instant)>,
+                       router: &mut Router<S, D>,
+                       epoch_error: Option<&String>| {
+        for (r, verdict, _) in outcomes {
+            match (epoch_error, verdict) {
+                (Some(e), Verdict::Commit | Verdict::Rejected(_)) => {
+                    // The epoch aborted: nothing in it committed, and a
+                    // sequential rejection computed against the aborted
+                    // prefix is void too.
+                    r.resolve(Err(ServiceError::Machine(format!("write epoch aborted: {e}"))));
+                }
+                (None, Verdict::Commit) => {
+                    let seq = router.next_seq;
+                    router.next_seq += 1;
+                    r.resolve(Ok(Commit { value: (), seq }));
+                }
+                (None, Verdict::Rejected(e)) => r.resolve(Err(ServiceError::Rejected(e))),
+                (_, Verdict::Unavailable(msg)) => {
+                    r.resolve(Err(ServiceError::Machine(msg)));
+                }
+            }
+        }
+    };
+
+    let record_latency = |inner: &Inner<S, D>, outcomes: &[(Resolver<()>, Verdict, Instant)]| {
+        let mut st = lock(&inner.stats);
+        st.completed += outcomes.len() as u64;
+        for (_, _, submitted) in outcomes {
+            st.latency_us.record(submitted.elapsed().as_micros() as u64);
+        }
+    };
+
+    if involved.is_empty() {
+        // Nothing reaches any machine: validation-only outcomes (empty
+        // batches, rejections, no-op deletes) still commit/fail in order.
+        record_latency(inner, &outcomes);
+        resolve_all(outcomes, router, None);
+        router.publish(inner);
+        return;
+    }
+
+    // Scatter the sub-epochs (consuming any injected faults), then
+    // gather.
+    // The rollback path only needs the *ids* of what each shard was
+    // asked to insert; collect them up front so the scatter can move
+    // the point payloads instead of cloning them.
+    let insert_ids: Vec<Vec<u32>> =
+        inserts.iter().map(|pts| pts.iter().map(|p| p.id).collect()).collect();
+    let (tx, rx) = mpsc::channel::<WriteReply<D>>();
+    for &s in &involved {
+        let inject_fault = lock(&inner.faults).remove(&s);
+        router.workers[s]
+            .tx
+            .send(ShardJob::Write {
+                deletes: std::mem::take(&mut tree_deleted[s]),
+                inserts: std::mem::take(&mut inserts[s]),
+                inject_fault,
+                reply: tx.clone(),
+            })
+            .expect("shard worker died");
+    }
+    drop(tx);
+    let mut replies: Vec<Option<Result<Vec<Point<D>>, String>>> =
+        (0..router.shards()).map(|_| None).collect();
+    let mut runs_total = 0u64;
+    for _ in 0..involved.len() {
+        let reply = rx.recv().expect("shard worker dropped a write reply");
+        runs_total += reply.stats.runs as u64;
+        {
+            let mut st = lock(&inner.stats);
+            st.machine.absorb(&reply.stats);
+            st.per_shard[reply.shard].machine.absorb(&reply.stats);
+        }
+        replies[reply.shard] = Some(reply.result);
+    }
+    if runs_total > 0 {
+        lock(&inner.stats).write_epochs += 1;
+    }
+    record_latency(inner, &outcomes);
+
+    let epoch_error: Option<String> = involved.iter().find_map(|&s| match &replies[s] {
+        Some(Err(e)) => Some(format!("shard {s}: {e}")),
+        _ => None,
+    });
+
+    match epoch_error {
+        None => {
+            // Commit: fold the delta into the ownership index.
+            for (id, v) in delta {
+                match v {
+                    Some((_, sh)) => {
+                        if let Some(old) = router.owner.insert(id, sh) {
+                            router.shard_len[old] -= 1;
+                        }
+                        router.shard_len[sh] += 1;
+                    }
+                    None => {
+                        if let Some(old) = router.owner.remove(&id) {
+                            router.shard_len[old] -= 1;
+                        }
+                    }
+                }
+            }
+            // Rebalance (and publish) before resolution: a client that
+            // has observed its write response must also observe the
+            // epoch's effects — including any skew-triggered migration
+            // it caused — in the telemetry.
+            maybe_rebalance(inner, router);
+            router.publish(inner);
+            resolve_all(outcomes, router, None);
+        }
+        Some(err) => {
+            // Abort: poison the failed shards, roll the healthy
+            // participants back to their pre-epoch state.
+            for &s in &involved {
+                if let Some(Err(e)) = &replies[s] {
+                    router.poisoned[s] = Some(e.clone());
+                }
+            }
+            let (rtx, rrx) = mpsc::channel::<WriteReply<D>>();
+            let mut rolling = 0usize;
+            for &s in &involved {
+                let Some(Ok(extracted)) = &replies[s] else { continue };
+                let undo_inserts = insert_ids[s].clone();
+                if undo_inserts.is_empty() && extracted.is_empty() {
+                    continue;
+                }
+                router.workers[s]
+                    .tx
+                    .send(ShardJob::Write {
+                        deletes: undo_inserts,
+                        inserts: extracted.clone(),
+                        inject_fault: false,
+                        reply: rtx.clone(),
+                    })
+                    .expect("shard worker died");
+                rolling += 1;
+            }
+            drop(rtx);
+            for _ in 0..rolling {
+                let reply = rrx.recv().expect("shard worker dropped a rollback reply");
+                {
+                    let mut st = lock(&inner.stats);
+                    st.machine.absorb(&reply.stats);
+                    st.per_shard[reply.shard].machine.absorb(&reply.stats);
+                }
+                if let Err(e) = reply.result {
+                    router.poisoned[reply.shard] =
+                        Some(format!("rollback after epoch abort failed: {e}"));
+                }
+            }
+            // Publish before resolution (mirroring the commit path): a
+            // client that has observed the abort must also observe the
+            // quarantine in the telemetry.
+            router.publish(inner);
+            resolve_all(outcomes, router, Some(&err));
+        }
+    }
+}
+
+/// Run the skew trigger after a committed write epoch.
+fn maybe_rebalance<S: Semigroup, const D: usize>(inner: &Inner<S, D>, router: &mut Router<S, D>) {
+    if inner.cfg.rebalance_factor <= 1.0 || router.shards() < 2 {
+        return;
+    }
+    let total: usize = router.shard_len.iter().sum();
+    if total == 0 {
+        return;
+    }
+    let (donor, &max) =
+        router.shard_len.iter().enumerate().max_by_key(|(_, &n)| n).expect("shards >= 2");
+    let mean = total as f64 / router.shards() as f64;
+    if max < inner.cfg.rebalance_min || (max as f64) <= inner.cfg.rebalance_factor * mean {
+        return;
+    }
+    // A failed automatic split (no healthy sibling, degenerate
+    // coordinates) is not an error — the trigger just stays armed.
+    let _ = do_split(inner, router, donor);
+    router.publish(inner);
+}
+
+/// Migrate half of `donor`'s points to a lighter sibling. Runs between
+/// dispatches on the router thread, so no in-flight request observes a
+/// half-migrated store and the global commit order is untouched.
+fn do_split<S: Semigroup, const D: usize>(
+    inner: &Inner<S, D>,
+    router: &mut Router<S, D>,
+    donor: usize,
+) -> Result<SplitReport, String> {
+    if router.shards() < 2 {
+        return Err("split impossible: only one shard".into());
+    }
+    if let Some(reason) = &router.poisoned[donor] {
+        return Err(format!("split impossible: donor {donor} is poisoned: {reason}"));
+    }
+    if router.shard_len[donor] < 2 {
+        return Err(format!(
+            "split impossible: donor {donor} holds {} point(s)",
+            router.shard_len[donor]
+        ));
+    }
+    // Pick the recipient: under the range policy only an adjacent shard
+    // keeps slabs contiguous; under hash placement any shard works, so
+    // take the lightest.
+    let candidates: Vec<usize> = if router.part.bounds().is_some() {
+        [donor.checked_sub(1), (donor + 1 < router.shards()).then_some(donor + 1)]
+            .into_iter()
+            .flatten()
+            .filter(|&s| router.poisoned[s].is_none())
+            .collect()
+    } else {
+        (0..router.shards()).filter(|&s| s != donor && router.poisoned[s].is_none()).collect()
+    };
+    let Some(&to) = candidates.iter().min_by_key(|&&s| router.shard_len[s]) else {
+        return Err(format!("split impossible: donor {donor} has no healthy sibling"));
+    };
+    let upper = to > donor;
+
+    let (tx, rx) = mpsc::channel::<SplitReply<D>>();
+    router.workers[donor]
+        .tx
+        .send(ShardJob::SplitHalf { upper, reply: tx })
+        .expect("shard worker died");
+    let reply = rx.recv().expect("shard worker dropped a split reply");
+    {
+        let mut st = lock(&inner.stats);
+        st.machine.absorb(&reply.stats);
+        st.per_shard[donor].machine.absorb(&reply.stats);
+    }
+    let (moved, boundary) = match reply.result {
+        Ok(ok) => ok,
+        Err(e) => {
+            if !e.starts_with("split impossible") {
+                // The donor mutated (extraction failed mid-rebuild).
+                router.poisoned[donor] = Some(format!("split extraction failed: {e}"));
+            }
+            return Err(e);
+        }
+    };
+
+    // Land the migrated points on the recipient.
+    let (wtx, wrx) = mpsc::channel::<WriteReply<D>>();
+    router.workers[to]
+        .tx
+        .send(ShardJob::Write {
+            deletes: Vec::new(),
+            inserts: moved.clone(),
+            inject_fault: false,
+            reply: wtx,
+        })
+        .expect("shard worker died");
+    let landed = wrx.recv().expect("shard worker dropped a migration reply");
+    {
+        let mut st = lock(&inner.stats);
+        st.machine.absorb(&landed.stats);
+        st.per_shard[to].machine.absorb(&landed.stats);
+    }
+    if let Err(e) = landed.result {
+        router.poisoned[to] = Some(format!("migration landing failed: {e}"));
+        // Try to put the extracted points back so the donor stays whole.
+        let (btx, brx) = mpsc::channel::<WriteReply<D>>();
+        router.workers[donor]
+            .tx
+            .send(ShardJob::Write {
+                deletes: Vec::new(),
+                inserts: moved,
+                inject_fault: false,
+                reply: btx,
+            })
+            .expect("shard worker died");
+        let back = brx.recv().expect("shard worker dropped a restore reply");
+        {
+            let mut st = lock(&inner.stats);
+            st.machine.absorb(&back.stats);
+            st.per_shard[donor].machine.absorb(&back.stats);
+        }
+        if let Err(e2) = back.result {
+            router.poisoned[donor] = Some(format!("restore after failed migration failed: {e2}"));
+        }
+        return Err(format!("split failed landing on shard {to}: {e}"));
+    }
+
+    // Commit the migration in the routing state.
+    for p in &moved {
+        router.owner.insert(p.id, to);
+    }
+    router.shard_len[donor] -= moved.len();
+    router.shard_len[to] += moved.len();
+    if donor.abs_diff(to) == 1 {
+        router.part.shift_boundary(donor, to, boundary);
+    }
+    {
+        let mut st = lock(&inner.stats);
+        st.rebalances += 1;
+        st.rebalance_moved += moved.len() as u64;
+    }
+    Ok(SplitReport { from: donor, to, moved: moved.len(), boundary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrs_rangetree::Sum;
+
+    fn pts(range: std::ops::Range<u32>) -> Vec<Point<2>> {
+        range
+            .map(|i| Point::weighted([((i * 193) % 777) as i64, ((i * 71) % 555) as i64], i, 2))
+            .collect()
+    }
+
+    fn machines(s: usize, p: usize) -> Vec<Machine> {
+        (0..s).map(|_| Machine::new(p).unwrap()).collect()
+    }
+
+    fn quick(s: usize, policy: PartitionPolicy) -> ShardedService<Sum, 2> {
+        ShardedService::start(
+            machines(s, 2),
+            16,
+            &pts(0..60),
+            Sum,
+            policy,
+            ShardedConfig { max_delay: Duration::from_micros(100), ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_all_read_modes_across_shards() {
+        for policy in [PartitionPolicy::Hash, PartitionPolicy::range_uniform(3, 0, 777)] {
+            let service = quick(3, policy);
+            let all = Rect::new([0, 0], [800, 600]);
+            let c = service.count(all).unwrap();
+            let a = service.aggregate(all).unwrap();
+            let r = service.report(Rect::new([0, 0], [0, 0])).unwrap();
+            assert_eq!(c.wait().unwrap().value, 60);
+            assert_eq!(a.wait().unwrap().value, Some(120));
+            assert_eq!(r.wait().unwrap().value, vec![0]);
+            let stats = service.stats();
+            assert_eq!(stats.submitted, 3);
+            assert_eq!(stats.completed, 3);
+            assert_eq!(stats.total_points(), 60);
+        }
+    }
+
+    #[test]
+    fn writes_route_and_reads_observe_them() {
+        let service = quick(2, PartitionPolicy::range_uniform(2, 0, 777));
+        let all = Rect::new([0, 0], [800, 600]);
+        service.insert(pts(100..110)).unwrap().wait().unwrap();
+        assert_eq!(service.count(all).unwrap().wait().unwrap().value, 70);
+        service.delete((100..105).collect()).unwrap().wait().unwrap();
+        assert_eq!(service.count(all).unwrap().wait().unwrap().value, 65);
+        let parts = service.shutdown();
+        assert_eq!(parts.iter().map(|(_, t)| t.len()).sum::<usize>(), 65);
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected_sequentially() {
+        let service = quick(2, PartitionPolicy::Hash);
+        let verdict = service.insert(pts(5..6)).unwrap().wait();
+        assert_eq!(verdict, Err(ServiceError::Rejected(BuildError::DuplicateId(5))));
+        assert_eq!(service.count(Rect::new([0, 0], [800, 600])).unwrap().wait().unwrap().value, 60);
+    }
+
+    #[test]
+    fn initial_load_validates_ids() {
+        let mut bad = pts(0..4);
+        bad.push(bad[1]);
+        let err = ShardedService::start(
+            machines(2, 1),
+            8,
+            &bad,
+            Sum,
+            PartitionPolicy::Hash,
+            ShardedConfig::default(),
+        )
+        .err();
+        assert_eq!(err, Some(BuildError::DuplicateId(1)));
+    }
+
+    #[test]
+    fn explicit_split_moves_points_and_boundary() {
+        // Everything starts on shard 0: the boundary is far right.
+        let service = ShardedService::start(
+            machines(2, 2),
+            8,
+            &pts(0..40),
+            Sum,
+            PartitionPolicy::Range { bounds: vec![10_000] },
+            ShardedConfig { max_delay: Duration::from_micros(100), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(service.stats().per_shard[0].live_points, 40);
+        let report = service.split_shard(0).unwrap().wait().unwrap().value;
+        assert_eq!((report.from, report.to), (0, 1));
+        assert!(report.moved >= 10 && report.moved <= 30, "roughly half: {report:?}");
+        let stats = service.stats();
+        assert_eq!(stats.rebalances, 1);
+        assert_eq!(stats.per_shard[0].live_points + stats.per_shard[1].live_points, 40);
+        assert_eq!(stats.range_bounds, Some(vec![report.boundary]));
+        // Cross-shard reads still see everything, exactly.
+        assert_eq!(service.count(Rect::new([0, 0], [800, 600])).unwrap().wait().unwrap().value, 40);
+        // New inserts route by the *new* boundary.
+        let left = vec![Point::weighted([report.boundary - 1, 0], 9000, 1)];
+        let right = vec![Point::weighted([report.boundary, 0], 9001, 1)];
+        service.insert(left).unwrap().wait().unwrap();
+        service.insert(right).unwrap().wait().unwrap();
+        let parts = service.shutdown();
+        assert!(parts[0].1.contains_id(9000));
+        assert!(parts[1].1.contains_id(9001));
+    }
+
+    /// Regression: a splittable shard whose lower half is a plateau of
+    /// one coordinate must still split (the boundary retreats past the
+    /// plateau instead of spuriously reporting "all points share the
+    /// splitting coordinate").
+    #[test]
+    fn split_retreats_past_a_median_plateau() {
+        let initial: Vec<Point<2>> =
+            (0..10u32).map(|i| Point::new([if i < 7 { 5 } else { 9 }, i as i64], i)).collect();
+        let service = ShardedService::start(
+            machines(2, 1),
+            8,
+            &initial,
+            Sum,
+            PartitionPolicy::Range { bounds: vec![10_000] },
+            ShardedConfig { max_delay: Duration::from_micros(100), ..Default::default() },
+        )
+        .unwrap();
+        let report = service.split_shard(0).unwrap().wait().unwrap().value;
+        assert_eq!(report.boundary, 9, "boundary must retreat past the x = 5 plateau");
+        assert_eq!(report.moved, 3, "exactly the points above the plateau move");
+        let stats = service.stats();
+        assert_eq!(stats.per_shard[0].live_points, 7);
+        assert_eq!(stats.per_shard[1].live_points, 3);
+        assert_eq!(service.count(Rect::new([0, 0], [100, 100])).unwrap().wait().unwrap().value, 10);
+        // A single-coordinate shard is still a clean error, not a panic.
+        let verdict = service.split_shard(0).unwrap().wait();
+        match verdict {
+            Err(ServiceError::Machine(msg)) => {
+                assert!(msg.contains("split impossible"), "{msg}")
+            }
+            other => panic!("expected split-impossible, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn skew_trigger_rebalances_automatically() {
+        let service = ShardedService::start(
+            machines(2, 1),
+            8,
+            &[],
+            Sum,
+            PartitionPolicy::Range { bounds: vec![10_000] },
+            ShardedConfig {
+                max_delay: Duration::from_micros(100),
+                rebalance_factor: 1.5,
+                rebalance_min: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // All inserts land left of the boundary → shard 0 holds 100% of
+        // the points (skew 2.0 > 1.5) → the trigger must fire.
+        service.insert(pts(0..32)).unwrap().wait().unwrap();
+        let stats = service.stats();
+        assert!(stats.rebalances >= 1, "skew trigger did not fire: {stats:?}");
+        assert!(stats.per_shard[1].live_points > 0);
+        assert_eq!(stats.total_points(), 32);
+        assert_eq!(service.count(Rect::new([0, 0], [800, 600])).unwrap().wait().unwrap().value, 32);
+        service.shutdown();
+    }
+
+    #[test]
+    fn empty_store_and_empty_writes_cost_zero_runs() {
+        let service = ShardedService::start(
+            machines(2, 2),
+            8,
+            &[],
+            Sum,
+            PartitionPolicy::Hash,
+            ShardedConfig { max_delay: Duration::from_micros(100), ..Default::default() },
+        )
+        .unwrap();
+        let q = Rect::new([0, 0], [800, 600]);
+        assert_eq!(service.count(q).unwrap().wait().unwrap().value, 0);
+        assert_eq!(service.aggregate(q).unwrap().wait().unwrap().value, None);
+        service.insert(Vec::new()).unwrap().wait().unwrap();
+        service.delete(vec![7]).unwrap().wait().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.machine.runs, 0, "empty traffic must not run any machine");
+        assert_eq!(stats.dispatches, 0);
+        assert_eq!(stats.write_epochs, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn empty_rect_answers_locally() {
+        let service = quick(2, PartitionPolicy::Hash);
+        let degenerate = Rect::new([5, 5], [4, 4]);
+        assert_eq!(service.count(degenerate).unwrap().wait().unwrap().value, 0);
+        assert_eq!(service.aggregate(degenerate).unwrap().wait().unwrap().value, None);
+        assert!(service.report(degenerate).unwrap().wait().unwrap().value.is_empty());
+    }
+
+    #[test]
+    fn commit_seqs_are_global_and_ordered() {
+        let service = quick(2, PartitionPolicy::range_uniform(2, 0, 777));
+        let seqs = vec![
+            service.count(Rect::new([0, 0], [800, 600])).unwrap().wait().unwrap().seq,
+            service.insert(pts(500..504)).unwrap().wait().unwrap().seq,
+            service.count(Rect::new([0, 0], [800, 600])).unwrap().wait().unwrap().seq,
+            service.delete(vec![500]).unwrap().wait().unwrap().seq,
+        ];
+        let sorted = {
+            let mut s = seqs.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(seqs, sorted, "sequential submission commits in order");
+        assert_eq!(seqs, (seqs[0]..seqs[0] + 4).collect::<Vec<u64>>(), "seqs are dense");
+        service.shutdown();
+    }
+
+    #[test]
+    fn abort_rejects_pending_requests() {
+        let service = ShardedService::start(
+            machines(2, 1),
+            8,
+            &pts(0..16),
+            Sum,
+            PartitionPolicy::Hash,
+            ShardedConfig {
+                max_batch: 1024,
+                max_delay: Duration::from_secs(5),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let tickets: Vec<_> =
+            (0..10).map(|_| service.count(Rect::new([0, 0], [800, 600])).unwrap()).collect();
+        let parts = service.abort();
+        for t in tickets {
+            assert_eq!(t.wait(), Err(ServiceError::ShuttingDown));
+        }
+        assert_eq!(parts.iter().map(|(_, t)| t.len()).sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn queued_deadline_expires_without_touching_any_machine() {
+        let service = ShardedService::start(
+            machines(2, 1),
+            8,
+            &pts(0..16),
+            Sum,
+            PartitionPolicy::Hash,
+            ShardedConfig {
+                max_batch: 1024,
+                max_delay: Duration::from_millis(80),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let doomed = service
+            .count_within(Rect::new([0, 0], [800, 600]), Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(doomed.wait(), Err(ServiceError::DeadlineExpired));
+        let stats = service.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.machine.runs, 0);
+        assert_eq!(service.count(Rect::new([0, 0], [800, 600])).unwrap().wait().unwrap().value, 16);
+        service.shutdown();
+    }
+
+    #[test]
+    fn backpressure_rejects_beyond_capacity() {
+        let service = ShardedService::start(
+            machines(2, 1),
+            8,
+            &pts(0..16),
+            Sum,
+            PartitionPolicy::Hash,
+            ShardedConfig {
+                max_batch: 1024,
+                max_delay: Duration::from_millis(300),
+                queue_capacity: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let q = Rect::new([0, 0], [800, 600]);
+        let mut admitted = Vec::new();
+        let mut overloaded = 0;
+        for _ in 0..6 {
+            match service.count(q) {
+                Ok(t) => admitted.push(t),
+                Err(SubmitError::Overloaded { depth }) => {
+                    assert_eq!(depth, 4);
+                    overloaded += 1;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        assert_eq!((admitted.len(), overloaded), (4, 2));
+        for t in admitted {
+            assert_eq!(t.wait().unwrap().value, 16);
+        }
+        assert_eq!(service.stats().overloaded, 2);
+        service.shutdown();
+    }
+}

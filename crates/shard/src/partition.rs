@@ -1,0 +1,228 @@
+//! Domain partitioning: which shard group owns a point, and which shard
+//! groups a range query must visit.
+//!
+//! Two placement policies are offered. **Hash** spreads inserts uniformly
+//! by a mix of the record id — perfectly balanced under any id pattern,
+//! but every range query must visit every shard (ids carry no spatial
+//! information). **Range** slices the first coordinate axis into `S`
+//! contiguous slabs — a range query visits only the slabs its first-axis
+//! interval overlaps, and the router clips each sub-query to the slab so
+//! shard answers are disjoint by construction.
+//!
+//! The policy decides *placement of new points* and *read fan-out*; the
+//! authoritative record of where a live id resides is the router's
+//! ownership index, which also absorbs rebalance migrations.
+
+use ddrs_rangetree::{Point, Rect};
+
+/// How the id/key domain is divided across shard groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// Place by a mix of the record id. Balanced placement, all-shard
+    /// read fan-out.
+    Hash,
+    /// Place by the first coordinate: shard `i` owns the slab
+    /// `[bounds[i-1], bounds[i])` of axis 0 (with implicit `-∞` and
+    /// `+∞` end caps). `bounds` must be ascending and have exactly
+    /// `shards - 1` entries.
+    Range {
+        /// Ascending slab boundaries on axis 0, one fewer than shards.
+        bounds: Vec<i64>,
+    },
+}
+
+impl PartitionPolicy {
+    /// Evenly spaced range boundaries over `[lo, hi]` for `shards`
+    /// groups — a reasonable default when the data distribution is
+    /// roughly uniform on axis 0.
+    pub fn range_uniform(shards: usize, lo: i64, hi: i64) -> PartitionPolicy {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(lo <= hi, "range_uniform: lo > hi");
+        let span = (hi - lo).max(1) as i128;
+        let bounds = (1..shards).map(|i| lo + (span * i as i128 / shards as i128) as i64).collect();
+        PartitionPolicy::Range { bounds }
+    }
+
+    /// Range boundaries at the axis-0 quantiles of a sample — balanced
+    /// initial placement for arbitrary distributions.
+    pub fn range_from_sample<const D: usize>(
+        shards: usize,
+        sample: &[Point<D>],
+    ) -> PartitionPolicy {
+        assert!(shards >= 1, "need at least one shard");
+        let mut xs: Vec<i64> = sample.iter().map(|p| p.coords[0]).collect();
+        xs.sort_unstable();
+        let bounds = (1..shards)
+            .map(|i| {
+                if xs.is_empty() {
+                    i as i64
+                } else {
+                    xs[(xs.len() * i / shards).min(xs.len() - 1)]
+                }
+            })
+            .collect();
+        PartitionPolicy::Range { bounds }
+    }
+}
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) for hash placement.
+fn mix(id: u32) -> u64 {
+    let mut z = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The router's live view of the partition: the policy plus the mutable
+/// range boundaries (rebalance moves them).
+#[derive(Debug, Clone)]
+pub(crate) enum Partitioner {
+    Hash { shards: usize },
+    Range { bounds: Vec<i64> },
+}
+
+impl Partitioner {
+    pub(crate) fn new(policy: PartitionPolicy, shards: usize) -> Self {
+        match policy {
+            PartitionPolicy::Hash => Partitioner::Hash { shards },
+            PartitionPolicy::Range { bounds } => {
+                assert_eq!(
+                    bounds.len(),
+                    shards - 1,
+                    "range partition needs exactly shards - 1 boundaries"
+                );
+                assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "range boundaries must ascend");
+                Partitioner::Range { bounds }
+            }
+        }
+    }
+
+    /// Placement shard for a new point.
+    pub(crate) fn place<const D: usize>(&self, p: &Point<D>) -> usize {
+        match self {
+            Partitioner::Hash { shards } => (mix(p.id) % *shards as u64) as usize,
+            Partitioner::Range { bounds } => bounds.partition_point(|b| *b <= p.coords[0]),
+        }
+    }
+
+    /// The inclusive shard interval a query's axis-0 extent overlaps.
+    /// Empty rects fan out to no shard (the router answers them locally).
+    pub(crate) fn read_fanout<const D: usize>(
+        &self,
+        q: &Rect<D>,
+    ) -> std::ops::RangeInclusive<usize> {
+        if q.is_empty() {
+            // An intentionally empty fan-out: the router answers the
+            // degenerate query locally without touching any shard.
+            #[allow(clippy::reversed_empty_ranges)]
+            return 1..=0;
+        }
+        match self {
+            Partitioner::Hash { shards } => 0..=shards - 1,
+            Partitioner::Range { bounds } => {
+                let lo = bounds.partition_point(|b| *b <= q.lo[0]);
+                let hi = bounds.partition_point(|b| *b <= q.hi[0]);
+                lo..=hi
+            }
+        }
+    }
+
+    /// Clip a query to one shard's slab (range policy splits queries at
+    /// shard boundaries; hash placement cannot clip).
+    pub(crate) fn clip<const D: usize>(&self, shard: usize, q: &Rect<D>) -> Rect<D> {
+        match self {
+            Partitioner::Hash { .. } => *q,
+            Partitioner::Range { bounds } => {
+                let mut c = *q;
+                if shard > 0 {
+                    c.lo[0] = c.lo[0].max(bounds[shard - 1]);
+                }
+                if shard < bounds.len() {
+                    // Slab upper bounds are exclusive; Rect bounds inclusive.
+                    c.hi[0] = c.hi[0].min(bounds[shard].saturating_sub(1));
+                }
+                c
+            }
+        }
+    }
+
+    /// Move the boundary between `donor` and an adjacent `recipient` to
+    /// `b` after a split migration (range policy only).
+    pub(crate) fn shift_boundary(&mut self, donor: usize, recipient: usize, b: i64) {
+        if let Partitioner::Range { bounds } = self {
+            debug_assert!(donor.abs_diff(recipient) == 1, "range split needs adjacent shards");
+            bounds[donor.min(recipient)] = b;
+        }
+    }
+
+    /// The current range boundaries, if this is a range partition.
+    pub(crate) fn bounds(&self) -> Option<Vec<i64>> {
+        match self {
+            Partitioner::Hash { .. } => None,
+            Partitioner::Range { bounds } => Some(bounds.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_place_and_fanout_respect_boundaries() {
+        let part = Partitioner::new(PartitionPolicy::Range { bounds: vec![10, 20] }, 3);
+        assert_eq!(part.place(&Point::<2>::new([-5, 0], 1)), 0);
+        assert_eq!(part.place(&Point::<2>::new([9, 0], 2)), 0);
+        assert_eq!(part.place(&Point::<2>::new([10, 0], 3)), 1);
+        assert_eq!(part.place(&Point::<2>::new([19, 0], 4)), 1);
+        assert_eq!(part.place(&Point::<2>::new([20, 0], 5)), 2);
+        assert_eq!(part.read_fanout(&Rect::<2>::new([0, 0], [9, 9])), 0..=0);
+        assert_eq!(part.read_fanout(&Rect::<2>::new([5, 0], [25, 9])), 0..=2);
+        assert_eq!(part.read_fanout(&Rect::<2>::new([10, 0], [19, 9])), 1..=1);
+        assert!(part.read_fanout(&Rect::<2>::new([5, 0], [4, 9])).is_empty());
+    }
+
+    #[test]
+    fn range_clip_splits_at_boundaries() {
+        let part = Partitioner::new(PartitionPolicy::Range { bounds: vec![10, 20] }, 3);
+        let q = Rect::<2>::new([5, 1], [25, 2]);
+        assert_eq!(part.clip(0, &q), Rect::new([5, 1], [9, 2]));
+        assert_eq!(part.clip(1, &q), Rect::new([10, 1], [19, 2]));
+        assert_eq!(part.clip(2, &q), Rect::new([20, 1], [25, 2]));
+    }
+
+    #[test]
+    fn hash_fans_out_everywhere_and_spreads_placement() {
+        let part = Partitioner::new(PartitionPolicy::Hash, 4);
+        assert_eq!(part.read_fanout(&Rect::<2>::new([0, 0], [1, 1])), 0..=3);
+        let mut counts = [0usize; 4];
+        for id in 0..4000 {
+            counts[part.place(&Point::<2>::new([0, 0], id))] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "hash placement badly skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shift_boundary_moves_the_shared_edge() {
+        let mut part = Partitioner::new(PartitionPolicy::Range { bounds: vec![10, 20] }, 3);
+        part.shift_boundary(1, 2, 15);
+        assert_eq!(part.bounds(), Some(vec![10, 15]));
+        part.shift_boundary(1, 0, 7);
+        assert_eq!(part.bounds(), Some(vec![7, 15]));
+    }
+
+    #[test]
+    fn uniform_and_sampled_bounds() {
+        assert_eq!(
+            PartitionPolicy::range_uniform(4, 0, 100),
+            PartitionPolicy::Range { bounds: vec![25, 50, 75] }
+        );
+        let pts: Vec<Point<2>> = (0..100).map(|i| Point::new([i as i64, 0], i)).collect();
+        let PartitionPolicy::Range { bounds } = PartitionPolicy::range_from_sample(4, &pts) else {
+            panic!("expected a range policy")
+        };
+        assert_eq!(bounds, vec![25, 50, 75]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Sharded-service telemetry: the single-service counters plus a
+//! per-shard breakdown, all bounded-memory.
+
+use ddrs_cgm::RunStatsRollup;
+use ddrs_service::Histogram;
+
+/// Telemetry of one shard group, as seen by the router.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSnapshot {
+    /// Rollup of every machine run this shard executed for the service.
+    pub machine: RunStatsRollup,
+    /// Live points currently owned by this shard.
+    pub live_points: usize,
+    /// The quarantine reason, if a write epoch failed mid-apply on this
+    /// shard (a poisoned shard rejects all further traffic; its
+    /// siblings keep serving).
+    pub poisoned: Option<String>,
+}
+
+/// A point-in-time snapshot of the sharded service's telemetry.
+///
+/// Obtained from `ShardedService::stats`; counters are cumulative since
+/// the service started.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that received a terminal response (success or error).
+    pub completed: u64,
+    /// Submissions rejected by admission control.
+    pub overloaded: u64,
+    /// Requests that expired in the queue before dispatch.
+    pub expired: u64,
+    /// Coalesced read dispatches that reached at least one machine.
+    pub dispatches: u64,
+    /// Write epochs that reached at least one machine.
+    pub write_epochs: u64,
+    /// Read queries answered through coalesced dispatches.
+    pub queries_coalesced: u64,
+    /// Completed shard-split migrations (explicit and skew-triggered).
+    pub rebalances: u64,
+    /// Points moved between shard groups by those migrations.
+    pub rebalance_moved: u64,
+    /// Machine-side rollup across every shard.
+    pub machine: RunStatsRollup,
+    /// Per-shard machine rollups, live-point counts and health.
+    pub per_shard: Vec<ShardSnapshot>,
+    /// Distribution of coalesced read-batch sizes (queries per dispatch).
+    pub batch_sizes: Histogram,
+    /// Distribution of request latencies, submit → response, in µs.
+    pub latency_us: Histogram,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Current axis-0 slab boundaries (range partition only; rebalance
+    /// moves them).
+    pub range_bounds: Option<Vec<i64>>,
+}
+
+impl ShardedStats {
+    /// Mean queries per coalesced read dispatch (0 before any dispatch).
+    pub fn mean_batch_size(&self) -> f64 {
+        self.batch_sizes.mean()
+    }
+
+    /// Queries answered per machine run across all shards — the
+    /// coalescing leverage of the router (0 before any run).
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.machine.runs == 0 {
+            0.0
+        } else {
+            self.queries_coalesced as f64 / self.machine.runs as f64
+        }
+    }
+
+    /// Median request latency in µs (bucket upper bound).
+    pub fn p50_latency_us(&self) -> u64 {
+        self.latency_us.quantile(0.5)
+    }
+
+    /// 99th-percentile request latency in µs (bucket upper bound).
+    pub fn p99_latency_us(&self) -> u64 {
+        self.latency_us.quantile(0.99)
+    }
+
+    /// Live points across all shards.
+    pub fn total_points(&self) -> usize {
+        self.per_shard.iter().map(|s| s.live_points).sum()
+    }
+
+    /// Largest shard ÷ mean shard size (1.0 = perfectly balanced; 0
+    /// when empty).
+    pub fn skew(&self) -> f64 {
+        let total = self.total_points();
+        if total == 0 || self.per_shard.is_empty() {
+            return 0.0;
+        }
+        let max = self.per_shard.iter().map(|s| s.live_points).max().unwrap_or(0);
+        max as f64 * self.per_shard.len() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_and_totals() {
+        let mut s = ShardedStats::default();
+        assert_eq!(s.skew(), 0.0);
+        s.per_shard = vec![
+            ShardSnapshot { live_points: 30, ..Default::default() },
+            ShardSnapshot { live_points: 10, ..Default::default() },
+        ];
+        assert_eq!(s.total_points(), 40);
+        assert_eq!(s.skew(), 1.5);
+    }
+}

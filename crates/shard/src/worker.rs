@@ -1,0 +1,211 @@
+//! The per-shard scheduler thread: one `Machine` + one
+//! `DynamicDistRangeTree`, executing the sub-batches the router plans.
+//!
+//! A worker is deliberately dumb: it owns its group's machine and store,
+//! receives fully planned jobs over a channel, executes them with
+//! panic containment, and replies with the result plus the run's
+//! [`RunStats`] so the router can account machine work per shard. All
+//! cross-shard reasoning (planning, merging, ordering, rollback,
+//! poisoning) lives in the router — the worker has no idea siblings
+//! exist.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use ddrs_cgm::{panic_message, CgmError, Machine, RunStats};
+use ddrs_engine::{BatchResults, QueryBatch};
+use ddrs_rangetree::{DynamicDistRangeTree, Point, Semigroup};
+
+/// One planned unit of work for a shard group.
+pub(crate) enum ShardJob<S: Semigroup, const D: usize> {
+    /// Execute a fused read sub-batch: exactly one `Machine::run` (zero
+    /// when the sub-batch or the shard's store is empty).
+    Reads { batch: QueryBatch<S, D>, reply: mpsc::Sender<ReadReply<S>> },
+    /// Apply one write sub-epoch: extract `deletes` (returning the
+    /// removed points so the router can roll the epoch back on sibling
+    /// failure), then insert `inserts`. `inject_fault` makes a simulated
+    /// processor panic *between* the two cascades via
+    /// [`Machine::try_run`] — the deterministic mid-epoch fault the test
+    /// harness injects.
+    Write {
+        deletes: Vec<u32>,
+        inserts: Vec<Point<D>>,
+        inject_fault: bool,
+        reply: mpsc::Sender<WriteReply<D>>,
+    },
+    /// Extract one half of the store, split by the first coordinate
+    /// (ties kept together), for migration to a sibling group.
+    SplitHalf { upper: bool, reply: mpsc::Sender<SplitReply<D>> },
+    /// Hand the machine and store back and exit the thread.
+    Stop { reply: mpsc::Sender<(Machine, DynamicDistRangeTree<D>)> },
+}
+
+pub(crate) struct ReadReply<S: Semigroup> {
+    pub shard: usize,
+    pub result: Result<BatchResults<S>, String>,
+    pub stats: RunStats,
+}
+
+pub(crate) struct WriteReply<const D: usize> {
+    pub shard: usize,
+    /// On success, the points removed by the delete cascade (rollback
+    /// capital). On failure, the shard's store may be inconsistent.
+    pub result: Result<Vec<Point<D>>, String>,
+    pub stats: RunStats,
+}
+
+pub(crate) struct SplitReply<const D: usize> {
+    /// The migrated points and the axis-0 boundary separating them from
+    /// the points the donor kept.
+    pub result: Result<(Vec<Point<D>>, i64), String>,
+    pub stats: RunStats,
+}
+
+pub(crate) struct WorkerHandle<S: Semigroup, const D: usize> {
+    pub tx: mpsc::Sender<ShardJob<S, D>>,
+    pub join: JoinHandle<()>,
+}
+
+pub(crate) fn spawn_worker<S: Semigroup, const D: usize>(
+    shard: usize,
+    machine: Machine,
+    tree: DynamicDistRangeTree<D>,
+) -> WorkerHandle<S, D> {
+    let (tx, rx) = mpsc::channel::<ShardJob<S, D>>();
+    let join = std::thread::Builder::new()
+        .name(format!("ddrs-shard-{shard}"))
+        .spawn(move || worker_loop(shard, machine, tree, &rx))
+        .expect("spawning a shard worker");
+    WorkerHandle { tx, join }
+}
+
+/// Render a machine failure so the structured kind survives into the
+/// string the router quarantines and reports (`ProcessorPanicked` is
+/// what the fault-injection harness greps for).
+fn cgm_error_string(e: &CgmError) -> String {
+    match e {
+        CgmError::ProcessorPanicked { rank, payload } => {
+            format!("ProcessorPanicked: rank {rank}: {payload}")
+        }
+        other => other.to_string(),
+    }
+}
+
+fn worker_loop<S: Semigroup, const D: usize>(
+    shard: usize,
+    machine: Machine,
+    mut tree: DynamicDistRangeTree<D>,
+    rx: &mpsc::Receiver<ShardJob<S, D>>,
+) {
+    // Start clean so every reply's stats cover exactly its own job.
+    machine.take_stats();
+    while let Ok(job) = rx.recv() {
+        match job {
+            ShardJob::Reads { batch, reply } => {
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| batch.try_execute_dynamic(&machine, &tree)));
+                let stats = machine.take_stats();
+                let result = match outcome {
+                    Ok(Ok(out)) => Ok(out),
+                    Ok(Err(e)) => Err(cgm_error_string(&e)),
+                    Err(payload) => Err(panic_message(&*payload)),
+                };
+                let _ = reply.send(ReadReply { shard, result, stats });
+            }
+            ShardJob::Write { deletes, inserts, inject_fault, reply } => {
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Point<D>>, String> {
+                        let extracted = if deletes.is_empty() {
+                            Vec::new()
+                        } else {
+                            tree.extract_batch(&machine, &deletes).map_err(|e| e.to_string())?
+                        };
+                        if inject_fault {
+                            machine
+                                .try_run(|ctx| {
+                                    if ctx.rank() == ctx.p() - 1 {
+                                        panic!("injected fault: processor panic mid-epoch");
+                                    }
+                                    ctx.barrier();
+                                })
+                                .map_err(|e| cgm_error_string(&e))?;
+                        }
+                        if !inserts.is_empty() {
+                            tree.insert_batch(&machine, &inserts).map_err(|e| e.to_string())?;
+                        }
+                        Ok(extracted)
+                    }));
+                let stats = machine.take_stats();
+                let result = match outcome {
+                    Ok(r) => r,
+                    Err(payload) => Err(panic_message(&*payload)),
+                };
+                let _ = reply.send(WriteReply { shard, result, stats });
+            }
+            ShardJob::SplitHalf { upper, reply } => {
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| split_half(&machine, &mut tree, upper)));
+                let stats = machine.take_stats();
+                let result = match outcome {
+                    Ok(r) => r,
+                    Err(payload) => Err(panic_message(&*payload)),
+                };
+                let _ = reply.send(SplitReply { result, stats });
+            }
+            ShardJob::Stop { reply } => {
+                let _ = reply.send((machine, tree));
+                return;
+            }
+        }
+    }
+}
+
+/// Extract the upper (or lower) half of the store by axis 0, keeping
+/// equal first coordinates together so the result is a clean slab split:
+/// every migrated point is `>= b` (upper) or `< b` (lower) on axis 0,
+/// where `b` is the returned boundary.
+fn split_half<const D: usize>(
+    machine: &Machine,
+    tree: &mut DynamicDistRangeTree<D>,
+    upper: bool,
+) -> Result<(Vec<Point<D>>, i64), String> {
+    let mut pts: Vec<Point<D>> = tree.points().copied().collect();
+    if pts.len() < 2 {
+        return Err(format!("split impossible: shard holds {} point(s)", pts.len()));
+    }
+    pts.sort_unstable_by_key(|p| (p.coords[0], p.id));
+    let mut b = pts[pts.len() / 2].coords[0];
+    let moved_of = |b: i64| -> Vec<u32> {
+        if upper {
+            pts.iter().filter(|p| p.coords[0] >= b).map(|p| p.id).collect()
+        } else {
+            pts.iter().filter(|p| p.coords[0] < b).map(|p| p.id).collect()
+        }
+    };
+    let mut moved_ids = moved_of(b);
+    if moved_ids.is_empty() || moved_ids.len() == pts.len() {
+        // The median coordinate is a plateau reaching one end of the
+        // shard (upper: everything >= b; lower: nothing < b). The split
+        // is still possible as long as a second distinct coordinate
+        // exists: retreat the boundary to the smallest coordinate
+        // strictly above the plateau, which peels a non-empty proper
+        // subset off the right end (upper) or moves the plateau itself
+        // (lower).
+        match pts.iter().map(|p| p.coords[0]).find(|&c| c > b) {
+            Some(next) => {
+                b = next;
+                moved_ids = moved_of(b);
+            }
+            None => {
+                return Err(format!(
+                    "split impossible: all {} points share the splitting coordinate {b}",
+                    pts.len()
+                ));
+            }
+        }
+    }
+    debug_assert!(!moved_ids.is_empty() && moved_ids.len() < pts.len());
+    let moved = tree.extract_batch(machine, &moved_ids).map_err(|e| e.to_string())?;
+    Ok((moved, b))
+}

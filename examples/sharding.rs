@@ -1,0 +1,112 @@
+//! The sharded scatter-gather router end to end: range-partitioned
+//! shard groups, cross-shard reads merged under one global commit
+//! order, routed writes, a live skew-healing split, and the per-shard
+//! telemetry surface.
+//!
+//! Four shard groups (each its own 2-processor machine, store and
+//! scheduler) serve eight client threads. Mid-run, every new insert is
+//! aimed at one slab until the skew trigger migrates half of the fat
+//! shard to its neighbour — while the clients keep reading.
+//!
+//! ```sh
+//! cargo run --release --example sharding
+//! ```
+
+use std::time::Duration;
+
+use ddrs::prelude::*;
+use ddrs::workloads::QueryDistribution;
+
+fn main() {
+    let shards = 4;
+    let clients = 8;
+
+    // Seed: 4096 points, uniform on a 2^16 square; slab boundaries at
+    // the sample quartiles so the groups start balanced.
+    let all: Vec<Point<2>> =
+        WorkloadBuilder::new(7, 5120).points(PointDistribution::UniformCube { side: 1 << 16 });
+    let (seed_pts, fresh) = all.split_at(4096);
+    let policy = PartitionPolicy::range_from_sample(shards, seed_pts);
+    println!("partition: {policy:?}");
+
+    let machines: Vec<Machine> = (0..shards).map(|_| Machine::new(2).unwrap()).collect();
+    let service = ShardedService::start(
+        machines,
+        1 << 8,
+        seed_pts,
+        Sum,
+        policy,
+        ShardedConfig {
+            max_batch: 64,
+            max_delay: Duration::from_micros(300),
+            // Heal any shard that grows past 1.4× the mean.
+            rebalance_factor: 1.4,
+            rebalance_min: 256,
+            ..ShardedConfig::default()
+        },
+    )
+    .expect("seed points are unique");
+
+    // Phase 1: balanced mixed read traffic from all clients.
+    let queries = QueryWorkload::from_points(seed_pts, 11)
+        .queries(QueryDistribution::Selectivity { fraction: 0.01 }, clients * 40);
+    std::thread::scope(|s| {
+        for chunk in queries.chunks(40) {
+            let service = &service;
+            s.spawn(move || {
+                for q in chunk {
+                    let count = service.count(*q).unwrap().wait().unwrap();
+                    let agg = service.aggregate(*q).unwrap().wait().unwrap();
+                    assert!(agg.value.unwrap_or(0) >= count.value, "weights are ≥ 1");
+                }
+            });
+        }
+    });
+
+    // Phase 2: skewed writes — every fresh point lands in slab 0 — while
+    // one reader thread keeps verifying the global view.
+    let skewed: Vec<Point<2>> = fresh
+        .iter()
+        .map(|p| Point::weighted([p.coords[0] % 1000, p.coords[1]], p.id, p.weight))
+        .collect();
+    let everything = Rect::new([i64::MIN, i64::MIN], [i64::MAX, i64::MAX]);
+    std::thread::scope(|s| {
+        let service = &service;
+        s.spawn(move || {
+            for batch in skewed.chunks(64) {
+                service.insert(batch.to_vec()).unwrap().wait().unwrap();
+            }
+        });
+        s.spawn(move || {
+            for _ in 0..20 {
+                let c = service.count(everything).unwrap().wait().unwrap();
+                assert!(c.value >= 4096);
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        });
+    });
+
+    let stats = service.stats();
+    println!("\nafter the skewed write burst:");
+    println!("  total points      {}", stats.total_points());
+    println!(
+        "  shard sizes       {:?}",
+        stats.per_shard.iter().map(|s| s.live_points).collect::<Vec<_>>()
+    );
+    println!("  skew (max/mean)   {:.2}", stats.skew());
+    println!("  rebalances        {} ({} points moved)", stats.rebalances, stats.rebalance_moved);
+    println!("  slab boundaries   {:?}", stats.range_bounds);
+    println!("  read dispatches   {}", stats.dispatches);
+    println!("  write epochs      {}", stats.write_epochs);
+    println!("  machine runs      {} across {} shards", stats.machine.runs, shards);
+    println!("  queries/run       {:.1}", stats.coalescing_factor());
+    println!("  p50 / p99 latency {} / {} µs", stats.p50_latency_us(), stats.p99_latency_us());
+
+    // The merged view is exact: every point is in exactly one shard.
+    let total = service.count(everything).unwrap().wait().unwrap().value;
+    assert_eq!(total as usize, 4096 + fresh.len());
+    let parts = service.shutdown();
+    let sum: usize = parts.iter().map(|(_, t)| t.len()).sum();
+    assert_eq!(sum, 4096 + fresh.len());
+    println!("\nshutdown clean: {} points across {} shard stores", sum, parts.len());
+}

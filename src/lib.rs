@@ -21,7 +21,14 @@
 //!   submission with future-like tickets, adaptive micro-batch
 //!   coalescing into fused runs, bounded-queue admission control,
 //!   per-request deadlines and epoch-scheduled updates with a
-//!   batch-serializability guarantee.
+//!   batch-serializability guarantee,
+//! * [`shard`] — the multi-group scatter-gather router: the id/key
+//!   domain partitioned (hash or range policy) across `S` shard groups,
+//!   each with its own machine, store and scheduler, behind one
+//!   [`ShardedService`](shard::ShardedService) façade that plans
+//!   cross-shard read batches into per-shard fused sub-batches (≤ `S`
+//!   machine runs per window), routes writes by key, assigns one global
+//!   commit order, and rebalances skewed shards by subtree migration.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +56,7 @@ pub use ddrs_cgm as cgm;
 pub use ddrs_engine as engine;
 pub use ddrs_rangetree as rangetree;
 pub use ddrs_service as service;
+pub use ddrs_shard as shard;
 pub use ddrs_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used items.
@@ -63,6 +71,9 @@ pub mod prelude {
     };
     pub use ddrs_service::{
         Commit, Service, ServiceConfig, ServiceError, ServiceStats, SubmitError, Ticket,
+    };
+    pub use ddrs_shard::{
+        PartitionPolicy, ShardedConfig, ShardedService, ShardedStats, SplitReport,
     };
     pub use ddrs_workloads::{
         ArrivalProcess, ArrivalTrace, PointDistribution, QueryWorkload, WorkloadBuilder,
