@@ -19,6 +19,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use ddrs_bench::uniform_points;
 use ddrs_cgm::Machine;
+use ddrs_client::RangeStore;
 use ddrs_rangetree::{DynamicDistRangeTree, Point, Rect, Sum};
 use ddrs_service::{Service, ServiceConfig};
 use ddrs_workloads::{QueryDistribution, QueryWorkload};

@@ -17,6 +17,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use ddrs_bench::uniform_points;
 use ddrs_cgm::Machine;
+use ddrs_client::RangeStore;
 use ddrs_rangetree::{Point, Rect, Sum};
 use ddrs_shard::{PartitionPolicy, ShardedConfig, ShardedService};
 use ddrs_workloads::{QueryDistribution, QueryWorkload};

@@ -18,6 +18,7 @@ use ddrs_baselines::{
 };
 use ddrs_bench::{hotspot_queries, print_table, selectivity_queries, time_ms, uniform_points};
 use ddrs_cgm::Machine;
+use ddrs_client::RangeStore;
 use ddrs_engine::QueryBatch;
 use ddrs_rangetree::dist::construct::construct;
 use ddrs_rangetree::dist::search::{balance_visits, hat_stage, tree_for, QueryRec};
@@ -63,6 +64,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("e1", e1),
     ("e2", e2),
     ("e3", e3),
+    ("e4", e4),
 ];
 
 /// Figure 1: the segment tree structure for [1, 8].
@@ -959,6 +961,134 @@ fn e3() {
     match std::fs::write("BENCH_shard.json", &json) {
         Ok(()) => println!("(json written to BENCH_shard.json)"),
         Err(e) => eprintln!("warning: could not write BENCH_shard.json: {e}"),
+    }
+}
+
+/// Client API: multi-op `Request` vs N individual submissions against
+/// the same service — the submission-amortization contrast of the
+/// unified client contract. Emits `BENCH_client.json`.
+fn e4() {
+    use std::time::Instant;
+
+    use ddrs_client::Request;
+
+    let p = 8;
+    let clients = 8usize;
+    let per_client = 64usize;
+    let blocks = 3usize; // blocks of `per_client` queries per client
+    let pts: Vec<Point<2>> = uniform_points(61, 1 << 13);
+    let qw = QueryWorkload::from_points(&pts, 67);
+    let queries =
+        qw.queries(QueryDistribution::Selectivity { fraction: 0.005 }, clients * per_client);
+    let n_requests = clients * per_client * blocks;
+
+    let start_service = || {
+        let machine = Machine::new(p).unwrap();
+        let mut tree = DynamicDistRangeTree::<2>::new(1 << 9);
+        tree.insert_batch(&machine, &pts).unwrap();
+        Service::start(
+            machine,
+            tree,
+            Sum,
+            ServiceConfig {
+                max_batch: 512,
+                max_delay: std::time::Duration::from_micros(200),
+                ..ServiceConfig::default()
+            },
+        )
+    };
+
+    // Each mode answers the same `n_requests` counting queries with 8
+    // closed-loop client threads; what varies is how a client hands a
+    // block of 64 queries to the service.
+    let run = |mode: &str| -> (f64, ddrs_service::ServiceStats) {
+        let service = start_service();
+        let t0 = Instant::now();
+        for _ in 0..blocks {
+            std::thread::scope(|s| {
+                for qs in queries.chunks(per_client) {
+                    let service = &service;
+                    s.spawn(move || match mode {
+                        "multi_op" => {
+                            let mut req = Request::new();
+                            let handles: Vec<_> = qs.iter().map(|q| req.count(*q)).collect();
+                            let resp = service.submit(req).unwrap().wait().unwrap().value;
+                            handles.into_iter().map(|h| resp.count(h)).sum::<u64>()
+                        }
+                        "individual_pipelined" => {
+                            let tickets: Vec<_> =
+                                qs.iter().map(|q| service.count(*q).unwrap()).collect();
+                            tickets.into_iter().map(|t| t.wait().unwrap().value).sum::<u64>()
+                        }
+                        "individual_sequential" => qs
+                            .iter()
+                            .map(|q| service.count(*q).unwrap().wait().unwrap().value)
+                            .sum::<u64>(),
+                        _ => unreachable!(),
+                    });
+                }
+            });
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = service.stats();
+        service.shutdown();
+        (n_requests as f64 / wall, stats)
+    };
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut rps_by_mode = std::collections::BTreeMap::new();
+    for mode in ["multi_op", "individual_pipelined", "individual_sequential"] {
+        let (rps, stats) = run(mode);
+        rps_by_mode.insert(mode, rps);
+        rows.push(vec![
+            mode.to_string(),
+            format!("{rps:.0}"),
+            format!("{:.1}", stats.mean_batch_size()),
+            stats.dispatches.to_string(),
+            stats.machine.runs.to_string(),
+            stats.p50_latency_us().to_string(),
+            stats.p99_latency_us().to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"mode\": \"{mode}\", \"achieved_rps\": {rps:.1}, \"mean_batch\": {:.2}, \
+             \"dispatches\": {}, \"machine_runs\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+            stats.mean_batch_size(),
+            stats.dispatches,
+            stats.machine.runs,
+            stats.p50_latency_us(),
+            stats.p99_latency_us(),
+        ));
+    }
+    print_table(
+        &format!(
+            "E4 — client API: one multi-op Request vs {per_client} individual \
+             submissions (p = {p}, {clients} clients, {n_requests} queries)"
+        ),
+        &["mode", "achieved rps", "mean batch", "dispatches", "runs", "p50 µs", "p99 µs"],
+        &rows,
+    );
+    let vs_sequential = rps_by_mode["multi_op"] / rps_by_mode["individual_sequential"];
+    let vs_pipelined = rps_by_mode["multi_op"] / rps_by_mode["individual_pipelined"];
+    println!(
+        "\nclaim: a client needing a block of answers should compose ONE\n\
+         request — its reads fuse into one guaranteed dispatch instead of\n\
+         paying {per_client} queue transactions (and, for dependent-flow\n\
+         clients, {per_client} dispatch round trips). Goal ≥ 2× over\n\
+         individual sequential submissions at {clients} clients; measured\n\
+         {vs_sequential:.1}× (and {vs_pipelined:.2}× vs the pipelined\n\
+         request-less best case)."
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"e4\",\n  \"p\": {p},\n  \"clients\": {clients},\n  \
+         \"queries_per_block\": {per_client},\n  \"requests\": {n_requests},\n  \
+         \"modes\": [\n{}\n  ],\n  \"speedup_multi_op_vs_sequential\": {vs_sequential:.2},\n  \
+         \"speedup_multi_op_vs_pipelined\": {vs_pipelined:.2}\n}}\n",
+        json_rows.join(",\n"),
+    );
+    match std::fs::write("BENCH_client.json", &json) {
+        Ok(()) => println!("(json written to BENCH_client.json)"),
+        Err(e) => eprintln!("warning: could not write BENCH_client.json: {e}"),
     }
 }
 

@@ -51,8 +51,13 @@
 //!
 //! ## Example
 //!
+//! The submission surface is the unified [`RangeStore`] contract from
+//! `ddrs-client` — the same code runs against the sharded router or the
+//! zero-thread inline engine:
+//!
 //! ```
 //! use ddrs_cgm::Machine;
+//! use ddrs_client::RangeStore;
 //! use ddrs_rangetree::{DynamicDistRangeTree, Point, Rect, Sum};
 //! use ddrs_service::{Service, ServiceConfig};
 //!
@@ -74,10 +79,14 @@
 #![warn(missing_docs)]
 
 mod stats;
-mod ticket;
 
 pub use stats::{Histogram, ServiceStats};
-pub use ticket::{ticket, Commit, Resolver, Ticket};
+// The completion-handle machinery and the error vocabulary moved to the
+// unified client contract in `ddrs-client`; re-exported here so existing
+// `ddrs_service::{Ticket, ServiceError, ...}` paths keep working.
+pub use ddrs_client::{
+    ticket, Commit, Outcome, RangeStore, Resolver, ServiceError, SubmitError, Ticket, WaitFor,
+};
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -86,20 +95,25 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ddrs_cgm::{panic_message, Machine};
+use ddrs_client::{PlannedOp, Request, Response};
 use ddrs_engine::QueryBatch;
-use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Rect, Semigroup, PAD_ID};
+use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Semigroup, PAD_ID};
 
 /// Tuning knobs of the serving layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Dispatch as soon as this many requests are pending (group-commit
-    /// batch-size trigger). Must be at least 1.
+    /// batch-size trigger). Must be at least 1. One multi-op request's
+    /// contiguous run is never split by this cap: a request carrying
+    /// more reads than `max_batch` still dispatches as one fused window.
     pub max_batch: usize,
     /// Dispatch once the oldest pending request has waited this long
     /// (group-commit delay trigger).
     pub max_delay: Duration,
     /// Admission bound: submissions beyond this queue depth are rejected
-    /// with [`SubmitError::Overloaded`]. Must be at least 1.
+    /// with [`SubmitError::Overloaded`]; a single request carrying more
+    /// ops than the whole capacity is rejected with the permanent
+    /// [`SubmitError::RequestTooLarge`] instead. Must be at least 1.
     pub queue_capacity: usize,
 }
 
@@ -109,97 +123,20 @@ impl Default for ServiceConfig {
     }
 }
 
-/// Why a submission was turned away at the door.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SubmitError {
-    /// Admission control: the queue is at capacity. Retry later or shed
-    /// load; the depth at rejection time is included for telemetry.
-    Overloaded {
-        /// Queue depth observed when the submission was rejected.
-        depth: usize,
-    },
-    /// The service is shutting down (or has shut down) and accepts no new
-    /// work.
-    ShutDown,
-}
-
-impl std::fmt::Display for SubmitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SubmitError::Overloaded { depth } => {
-                write!(f, "service overloaded: queue depth {depth} at capacity")
-            }
-            SubmitError::ShutDown => write!(f, "service is shut down"),
-        }
-    }
-}
-
-impl std::error::Error for SubmitError {}
-
-/// Why an accepted request did not produce a value.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ServiceError {
-    /// The request was still queued when its deadline passed; it never
-    /// reached the machine.
-    DeadlineExpired,
-    /// The service shut down (or its scheduler abandoned the request)
-    /// before the request was served.
-    ShuttingDown,
-    /// The machine failed executing the request's batch (a simulated
-    /// processor panicked). The service itself survives; the message is
-    /// the underlying failure.
-    Machine(String),
-    /// A write was rejected by sequential validation (duplicate or
-    /// reserved id). The store is unchanged; the rejection is exactly
-    /// what a sequential `insert_batch` at the same point in the commit
-    /// order would have returned.
-    Rejected(BuildError),
-}
-
-impl std::fmt::Display for ServiceError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServiceError::DeadlineExpired => write!(f, "deadline expired before dispatch"),
-            ServiceError::ShuttingDown => {
-                write!(f, "service shut down before serving the request")
-            }
-            ServiceError::Machine(msg) => write!(f, "machine execution failed: {msg}"),
-            ServiceError::Rejected(e) => write!(f, "write rejected: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ServiceError {}
-
-/// One request as it sits in the queue.
-enum Op<S: Semigroup, const D: usize> {
-    Count(Rect<D>, Resolver<u64>),
-    Aggregate(Rect<D>, Resolver<Option<S::Val>>),
-    Report(Rect<D>, Resolver<Vec<u32>>),
-    Insert(Vec<Point<D>>, Resolver<()>),
-    Delete(Vec<u32>, Resolver<()>),
-}
-
-impl<S: Semigroup, const D: usize> Op<S, D> {
-    fn is_read(&self) -> bool {
-        matches!(self, Op::Count(..) | Op::Aggregate(..) | Op::Report(..))
-    }
-
-    fn fail(self, e: ServiceError) {
-        match self {
-            Op::Count(_, r) => r.resolve(Err(e)),
-            Op::Aggregate(_, r) => r.resolve(Err(e)),
-            Op::Report(_, r) => r.resolve(Err(e)),
-            Op::Insert(_, r) => r.resolve(Err(e)),
-            Op::Delete(_, r) => r.resolve(Err(e)),
-        }
-    }
-}
-
+/// One request op as it sits in the queue. The op shape itself is the
+/// client contract's [`PlannedOp`] — the service adds only its queueing
+/// metadata.
 struct Pending<S: Semigroup, const D: usize> {
-    op: Op<S, D>,
+    op: PlannedOp<S, D>,
     submitted: Instant,
     deadline: Option<Instant>,
+    /// Consistency bound: minimum commits the store must have performed
+    /// when this op dispatches (`Consistency::AtLeast`).
+    min_seq: Option<u64>,
+    /// Ops of one request share a group id; `carve` never splits a
+    /// contiguous same-kind run of one group across dispatches, which
+    /// is what makes the one-fused-dispatch guarantee unconditional.
+    group: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,6 +154,8 @@ enum Mode {
 struct Queue<S: Semigroup, const D: usize> {
     q: VecDeque<Pending<S, D>>,
     mode: Mode,
+    /// Source of request group ids (see [`Pending::group`]).
+    group_counter: u64,
 }
 
 struct Inner<S: Semigroup, const D: usize> {
@@ -276,7 +215,7 @@ impl<S: Semigroup, const D: usize> Service<S, D> {
         let inner = Arc::new(Inner {
             cfg,
             sg,
-            queue: Mutex::new(Queue { q: VecDeque::new(), mode: Mode::Running }),
+            queue: Mutex::new(Queue { q: VecDeque::new(), mode: Mode::Running, group_counter: 0 }),
             arrived: Condvar::new(),
             stats: Mutex::new(ServiceStats::default()),
         });
@@ -286,106 +225,6 @@ impl<S: Semigroup, const D: usize> Service<S, D> {
             .spawn(move || scheduler_loop(&sched_inner, machine, tree))
             .expect("spawning the service scheduler");
         Service { inner, scheduler: Some(scheduler) }
-    }
-
-    fn enqueue<T>(
-        &self,
-        deadline: Option<Duration>,
-        make: impl FnOnce(Resolver<T>) -> Op<S, D>,
-    ) -> Result<Ticket<T>, SubmitError> {
-        let now = Instant::now();
-        let mut q = lock(&self.inner.queue);
-        if q.mode != Mode::Running {
-            return Err(SubmitError::ShutDown);
-        }
-        // The submission counters are bumped while still holding the
-        // queue lock (stats nests inside queue, never the reverse), so
-        // `submitted >= completed` holds in every snapshot — the
-        // scheduler cannot complete a request before its submission is
-        // recorded.
-        if q.q.len() >= self.inner.cfg.queue_capacity {
-            let depth = q.q.len();
-            lock(&self.inner.stats).overloaded += 1;
-            return Err(SubmitError::Overloaded { depth });
-        }
-        let (t, r) = ticket();
-        q.q.push_back(Pending { op: make(r), submitted: now, deadline: deadline.map(|d| now + d) });
-        self.inner.arrived.notify_all();
-        lock(&self.inner.stats).submitted += 1;
-        Ok(t)
-    }
-
-    /// Submit a counting query.
-    pub fn count(&self, q: Rect<D>) -> Result<Ticket<u64>, SubmitError> {
-        self.count_within(q, None)
-    }
-
-    /// Submit a counting query with an optional queueing deadline.
-    pub fn count_within(
-        &self,
-        q: Rect<D>,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket<u64>, SubmitError> {
-        self.enqueue(deadline, |r| Op::Count(q, r))
-    }
-
-    /// Submit an associative-function (semigroup aggregation) query.
-    pub fn aggregate(&self, q: Rect<D>) -> Result<Ticket<Option<S::Val>>, SubmitError> {
-        self.aggregate_within(q, None)
-    }
-
-    /// Submit an aggregation query with an optional queueing deadline.
-    pub fn aggregate_within(
-        &self,
-        q: Rect<D>,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket<Option<S::Val>>, SubmitError> {
-        self.enqueue(deadline, |r| Op::Aggregate(q, r))
-    }
-
-    /// Submit a report query (matching ids, ascending).
-    pub fn report(&self, q: Rect<D>) -> Result<Ticket<Vec<u32>>, SubmitError> {
-        self.report_within(q, None)
-    }
-
-    /// Submit a report query with an optional queueing deadline.
-    pub fn report_within(
-        &self,
-        q: Rect<D>,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket<Vec<u32>>, SubmitError> {
-        self.enqueue(deadline, |r| Op::Report(q, r))
-    }
-
-    /// Submit an insert batch. Resolves `Ok` once the points are live, or
-    /// [`ServiceError::Rejected`] if validation fails (duplicate or
-    /// reserved id) — exactly as a sequential `insert_batch` at the same
-    /// commit position would.
-    pub fn insert(&self, pts: Vec<Point<D>>) -> Result<Ticket<()>, SubmitError> {
-        self.insert_within(pts, None)
-    }
-
-    /// Submit an insert batch with an optional queueing deadline.
-    pub fn insert_within(
-        &self,
-        pts: Vec<Point<D>>,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket<()>, SubmitError> {
-        self.enqueue(deadline, |r| Op::Insert(pts, r))
-    }
-
-    /// Submit a delete batch by id (missing ids are no-ops).
-    pub fn delete(&self, ids: Vec<u32>) -> Result<Ticket<()>, SubmitError> {
-        self.delete_within(ids, None)
-    }
-
-    /// Submit a delete batch with an optional queueing deadline.
-    pub fn delete_within(
-        &self,
-        ids: Vec<u32>,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket<()>, SubmitError> {
-        self.enqueue(deadline, |r| Op::Delete(ids, r))
     }
 
     /// Snapshot the service telemetry.
@@ -461,6 +300,65 @@ impl<S: Semigroup, const D: usize> Service<S, D> {
     }
 }
 
+impl<S: Semigroup, const D: usize> RangeStore<S, D> for Service<S, D> {
+    /// Submit a composed multi-op request as one unit (the single-op
+    /// `count`/`insert`/… conveniences are the trait's default methods
+    /// over this).
+    ///
+    /// Admission is all-or-nothing: either every op of the request is
+    /// enqueued contiguously (writes first, then reads — so the reads
+    /// coalesce into one fused window and observe the request's own
+    /// writes), or the whole request is rejected. Each op counts toward
+    /// the queue capacity and the submission telemetry individually.
+    fn submit(&self, req: Request<S, D>) -> Result<Ticket<Response<S>>, SubmitError> {
+        assert!(!req.is_empty(), "submitted an empty request");
+        let n_ops = req.len();
+        let now = Instant::now();
+        let mut q = lock(&self.inner.queue);
+        if q.mode != Mode::Running {
+            return Err(SubmitError::ShutDown);
+        }
+        if n_ops > self.inner.cfg.queue_capacity {
+            // Rejecting as Overloaded would send the caller into a
+            // futile retry loop: this request can never fit.
+            return Err(SubmitError::RequestTooLarge {
+                ops: n_ops,
+                capacity: self.inner.cfg.queue_capacity,
+            });
+        }
+        // The submission counters are bumped while still holding the
+        // queue lock (stats nests inside queue, never the reverse), so
+        // `submitted >= completed` holds in every snapshot — the
+        // scheduler cannot complete a request before its submission is
+        // recorded.
+        if q.q.len() + n_ops > self.inner.cfg.queue_capacity {
+            let depth = q.q.len();
+            lock(&self.inner.stats).overloaded += 1;
+            return Err(SubmitError::Overloaded { depth });
+        }
+        // Lower the request only once admission is certain: plan()
+        // allocates the aggregator and one resolver per op, all of
+        // which a rejection would immediately tear down. It touches no
+        // locks, so running it under the queue lock is safe.
+        let planned = req.plan();
+        q.group_counter += 1;
+        let group = q.group_counter;
+        let deadline = planned.deadline.map(|d| now + d);
+        for op in planned.ops {
+            q.q.push_back(Pending {
+                op,
+                submitted: now,
+                deadline,
+                min_seq: planned.min_seq,
+                group,
+            });
+        }
+        self.inner.arrived.notify_all();
+        lock(&self.inner.stats).submitted += n_ops as u64;
+        Ok(planned.ticket)
+    }
+}
+
 impl<S: Semigroup, const D: usize> Drop for Service<S, D> {
     fn drop(&mut self) {
         if self.scheduler.is_some() {
@@ -483,7 +381,10 @@ impl<S: Semigroup, const D: usize> std::fmt::Debug for Service<S, D> {
 // ---------------------------------------------------------------------
 
 /// Pop the dispatchable prefix: expired requests (failed immediately) and
-/// the longest same-kind run, capped at `max_batch`.
+/// the longest same-kind run, capped at `max_batch` — except that the cap
+/// never splits one request's contiguous same-kind run (same group id):
+/// the client contract guarantees a request's reads fuse into ONE
+/// dispatch, and that guarantee outranks the cap.
 fn carve<S: Semigroup, const D: usize>(
     q: &mut VecDeque<Pending<S, D>>,
     max_batch: usize,
@@ -492,11 +393,14 @@ fn carve<S: Semigroup, const D: usize>(
     let mut expired = Vec::new();
     let mut batch: Vec<Pending<S, D>> = Vec::new();
     let mut kind: Option<bool> = None;
-    while batch.len() < max_batch {
-        let Some(front) = q.front() else { break };
+    let mut last_group: Option<u64> = None;
+    while let Some(front) = q.front() {
         if front.deadline.is_some_and(|d| d <= now) {
             expired.push(q.pop_front().unwrap());
             continue;
+        }
+        if batch.len() >= max_batch && last_group != Some(front.group) {
+            break;
         }
         let is_read = front.op.is_read();
         match kind {
@@ -504,6 +408,7 @@ fn carve<S: Semigroup, const D: usize>(
             Some(k) if k != is_read => break,
             _ => {}
         }
+        last_group = Some(front.group);
         batch.push(q.pop_front().unwrap());
     }
     (batch, expired)
@@ -601,6 +506,22 @@ fn scheduler_loop<S: Semigroup, const D: usize>(
                 p.op.fail(ServiceError::DeadlineExpired);
             }
         }
+        // Consistency bounds gate reads only (a write observes
+        // nothing), judged at dispatch time against the serial commit
+        // counter: a read demanding a commit the store has not
+        // performed fails instead of serving state it promised not to
+        // serve. (A bound learned from this store's own commits is
+        // always satisfied — dispatch is FIFO.)
+        let (batch, unmet): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .partition(|p| !p.op.is_read() || p.min_seq.is_none_or(|s| s < next_seq));
+        if !unmet.is_empty() {
+            lock(&inner.stats).completed += unmet.len() as u64;
+            for p in unmet {
+                let required = p.min_seq.expect("partitioned on min_seq");
+                p.op.fail(ServiceError::Consistency { required, committed: next_seq });
+            }
+        }
         if batch.is_empty() {
             continue;
         }
@@ -627,12 +548,18 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
     let mut slots: Vec<(ReadSlot<S>, Instant)> = Vec::with_capacity(batch.len());
     for p in batch {
         match p.op {
-            Op::Count(rect, r) => slots.push((ReadSlot::Count(qb.count(rect), r), p.submitted)),
-            Op::Aggregate(rect, r) => {
+            PlannedOp::Count(rect, r) => {
+                slots.push((ReadSlot::Count(qb.count(rect), r), p.submitted))
+            }
+            PlannedOp::Aggregate(rect, r) => {
                 slots.push((ReadSlot::Agg(qb.aggregate(rect), r), p.submitted))
             }
-            Op::Report(rect, r) => slots.push((ReadSlot::Report(qb.report(rect), r), p.submitted)),
-            Op::Insert(..) | Op::Delete(..) => unreachable!("carve() mixed writes into a read run"),
+            PlannedOp::Report(rect, r) => {
+                slots.push((ReadSlot::Report(qb.report(rect), r), p.submitted))
+            }
+            PlannedOp::Insert(..) | PlannedOp::Delete(..) => {
+                unreachable!("carve() mixed writes into a read run")
+            }
         }
     }
     let n = slots.len() as u64;
@@ -709,7 +636,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
         Vec::with_capacity(batch.len());
     for p in batch {
         match p.op {
-            Op::Insert(pts, r) => {
+            PlannedOp::Insert(pts, r) => {
                 let mut verdict: Result<(), BuildError> = Ok(());
                 let mut seen: HashSet<u32> = HashSet::with_capacity(pts.len());
                 for pt in &pts {
@@ -734,7 +661,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
                 }
                 outcomes.push((r, verdict, p.submitted));
             }
-            Op::Delete(ids, r) => {
+            PlannedOp::Delete(ids, r) => {
                 for id in ids {
                     match delta.get(&id) {
                         Some(Some(_)) => {
@@ -751,7 +678,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
                 }
                 outcomes.push((r, Ok(()), p.submitted));
             }
-            Op::Count(..) | Op::Aggregate(..) | Op::Report(..) => {
+            PlannedOp::Count(..) | PlannedOp::Aggregate(..) | PlannedOp::Report(..) => {
                 unreachable!("carve() mixed reads into a write run")
             }
         }
@@ -818,7 +745,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ddrs_rangetree::Sum;
+    use ddrs_rangetree::{Rect, Sum};
 
     fn pts(range: std::ops::Range<u32>) -> Vec<Point<2>> {
         range

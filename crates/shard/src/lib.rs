@@ -71,6 +71,7 @@
 //!
 //! ```
 //! use ddrs_cgm::Machine;
+//! use ddrs_client::RangeStore;
 //! use ddrs_rangetree::{Point, Rect, Sum};
 //! use ddrs_shard::{PartitionPolicy, ShardedConfig, ShardedService};
 //!
@@ -109,10 +110,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ddrs_cgm::Machine;
+use ddrs_client::{
+    ticket, Commit, PlannedOp, RangeStore, Request, Resolver, Response, ServiceError, SubmitError,
+    Ticket,
+};
 use ddrs_engine::{BatchResults, QueryBatch};
 use ddrs_rangetree::semigroup::comb_opt;
 use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Rect, Semigroup, PAD_ID};
-use ddrs_service::{ticket, Commit, Resolver, ServiceError, SubmitError, Ticket};
 
 use partition::Partitioner;
 use worker::{spawn_worker, ReadReply, ShardJob, SplitReply, WorkerHandle, WriteReply};
@@ -121,11 +125,16 @@ use worker::{spawn_worker, ReadReply, ShardJob, SplitReply, WorkerHandle, WriteR
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardedConfig {
     /// Dispatch as soon as this many requests are pending. Must be ≥ 1.
+    /// One multi-op request's contiguous run is never split by this
+    /// cap: a request carrying more reads than `max_batch` still
+    /// dispatches as one fused window per shard.
     pub max_batch: usize,
     /// Dispatch once the oldest pending request has waited this long.
     pub max_delay: Duration,
     /// Admission bound: submissions beyond this queue depth are rejected
-    /// with [`SubmitError::Overloaded`]. Must be ≥ 1.
+    /// with [`SubmitError::Overloaded`]; a single request carrying more
+    /// ops than the whole capacity is rejected with the permanent
+    /// [`SubmitError::RequestTooLarge`] instead. Must be ≥ 1.
     pub queue_capacity: usize,
     /// Skew trigger: after a committed write epoch, if the largest shard
     /// holds more than `rebalance_factor ×` the mean live-point count
@@ -164,13 +173,11 @@ pub struct SplitReport {
     pub boundary: i64,
 }
 
-/// One request as it sits in the router queue.
+/// One request as it sits in the router queue: a client-contract op, or
+/// the router's own split command (the one op with no `RangeStore`
+/// spelling).
 enum Op<S: Semigroup, const D: usize> {
-    Count(Rect<D>, Resolver<u64>),
-    Aggregate(Rect<D>, Resolver<Option<S::Val>>),
-    Report(Rect<D>, Resolver<Vec<u32>>),
-    Insert(Vec<Point<D>>, Resolver<()>),
-    Delete(Vec<u32>, Resolver<()>),
+    Client(PlannedOp<S, D>),
     Split(usize, Resolver<SplitReport>),
 }
 
@@ -184,19 +191,15 @@ enum Kind {
 impl<S: Semigroup, const D: usize> Op<S, D> {
     fn kind(&self) -> Kind {
         match self {
-            Op::Count(..) | Op::Aggregate(..) | Op::Report(..) => Kind::Read,
-            Op::Insert(..) | Op::Delete(..) => Kind::Write,
+            Op::Client(op) if op.is_read() => Kind::Read,
+            Op::Client(_) => Kind::Write,
             Op::Split(..) => Kind::Split,
         }
     }
 
     fn fail(self, e: ServiceError) {
         match self {
-            Op::Count(_, r) => r.resolve(Err(e)),
-            Op::Aggregate(_, r) => r.resolve(Err(e)),
-            Op::Report(_, r) => r.resolve(Err(e)),
-            Op::Insert(_, r) => r.resolve(Err(e)),
-            Op::Delete(_, r) => r.resolve(Err(e)),
+            Op::Client(op) => op.fail(e),
             Op::Split(_, r) => r.resolve(Err(e)),
         }
     }
@@ -206,6 +209,14 @@ struct Pending<S: Semigroup, const D: usize> {
     op: Op<S, D>,
     submitted: Instant,
     deadline: Option<Instant>,
+    /// Consistency bound: minimum commits the router must have performed
+    /// when this op dispatches (`Consistency::AtLeast`).
+    min_seq: Option<u64>,
+    /// Ops of one request share a group id; `carve` never splits a
+    /// contiguous same-kind run of one group across dispatches, which
+    /// is what makes the one-fused-dispatch-per-shard guarantee
+    /// unconditional.
+    group: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,6 +229,8 @@ enum Mode {
 struct Queue<S: Semigroup, const D: usize> {
     q: VecDeque<Pending<S, D>>,
     mode: Mode,
+    /// Source of request group ids (see [`Pending::group`]).
+    group_counter: u64,
 }
 
 struct Inner<S: Semigroup, const D: usize> {
@@ -338,7 +351,7 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
         let inner = Arc::new(Inner {
             cfg,
             sg,
-            queue: Mutex::new(Queue { q: VecDeque::new(), mode: Mode::Running }),
+            queue: Mutex::new(Queue { q: VecDeque::new(), mode: Mode::Running, group_counter: 0 }),
             arrived: Condvar::new(),
             stats: Mutex::new(ShardedStats {
                 per_shard: shard_len
@@ -365,102 +378,6 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
         self.shards
     }
 
-    fn enqueue<T>(
-        &self,
-        deadline: Option<Duration>,
-        make: impl FnOnce(Resolver<T>) -> Op<S, D>,
-    ) -> Result<Ticket<T>, SubmitError> {
-        let now = Instant::now();
-        let mut q = lock(&self.inner.queue);
-        if q.mode != Mode::Running {
-            return Err(SubmitError::ShutDown);
-        }
-        if q.q.len() >= self.inner.cfg.queue_capacity {
-            let depth = q.q.len();
-            lock(&self.inner.stats).overloaded += 1;
-            return Err(SubmitError::Overloaded { depth });
-        }
-        let (t, r) = ticket();
-        q.q.push_back(Pending { op: make(r), submitted: now, deadline: deadline.map(|d| now + d) });
-        self.inner.arrived.notify_all();
-        lock(&self.inner.stats).submitted += 1;
-        Ok(t)
-    }
-
-    /// Submit a counting query.
-    pub fn count(&self, q: Rect<D>) -> Result<Ticket<u64>, SubmitError> {
-        self.count_within(q, None)
-    }
-
-    /// Submit a counting query with an optional queueing deadline.
-    pub fn count_within(
-        &self,
-        q: Rect<D>,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket<u64>, SubmitError> {
-        self.enqueue(deadline, |r| Op::Count(q, r))
-    }
-
-    /// Submit an associative-function (semigroup aggregation) query.
-    pub fn aggregate(&self, q: Rect<D>) -> Result<Ticket<Option<S::Val>>, SubmitError> {
-        self.aggregate_within(q, None)
-    }
-
-    /// Submit an aggregation query with an optional queueing deadline.
-    pub fn aggregate_within(
-        &self,
-        q: Rect<D>,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket<Option<S::Val>>, SubmitError> {
-        self.enqueue(deadline, |r| Op::Aggregate(q, r))
-    }
-
-    /// Submit a report query (matching ids, ascending — merged across
-    /// shards into the same order the unsharded service returns).
-    pub fn report(&self, q: Rect<D>) -> Result<Ticket<Vec<u32>>, SubmitError> {
-        self.report_within(q, None)
-    }
-
-    /// Submit a report query with an optional queueing deadline.
-    pub fn report_within(
-        &self,
-        q: Rect<D>,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket<Vec<u32>>, SubmitError> {
-        self.enqueue(deadline, |r| Op::Report(q, r))
-    }
-
-    /// Submit an insert batch; points are routed to their placement
-    /// shards. Resolves [`ServiceError::Rejected`] exactly as a
-    /// sequential `insert_batch` at the same commit position would.
-    pub fn insert(&self, pts: Vec<Point<D>>) -> Result<Ticket<()>, SubmitError> {
-        self.insert_within(pts, None)
-    }
-
-    /// Submit an insert batch with an optional queueing deadline.
-    pub fn insert_within(
-        &self,
-        pts: Vec<Point<D>>,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket<()>, SubmitError> {
-        self.enqueue(deadline, |r| Op::Insert(pts, r))
-    }
-
-    /// Submit a delete batch by id (missing ids are no-ops); ids are
-    /// routed to their owning shards.
-    pub fn delete(&self, ids: Vec<u32>) -> Result<Ticket<()>, SubmitError> {
-        self.delete_within(ids, None)
-    }
-
-    /// Submit a delete batch with an optional queueing deadline.
-    pub fn delete_within(
-        &self,
-        ids: Vec<u32>,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket<()>, SubmitError> {
-        self.enqueue(deadline, |r| Op::Delete(ids, r))
-    }
-
     /// Request a split of shard `donor`: half its points (split on the
     /// first axis) migrate to a lighter sibling between two dispatches,
     /// so no in-flight request observes a half-migrated store. Resolves
@@ -469,7 +386,53 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
     /// coordinate, no healthy sibling).
     pub fn split_shard(&self, donor: usize) -> Result<Ticket<SplitReport>, SubmitError> {
         assert!(donor < self.shards, "split_shard: no shard {donor}");
-        self.enqueue(None, |r| Op::Split(donor, r))
+        let (t, r) = ticket();
+        self.enqueue_ops(1, || (vec![Op::Split(donor, r)], None, None))?;
+        Ok(t)
+    }
+
+    /// Admission shared by [`split_shard`](ShardedService::split_shard)
+    /// and the [`RangeStore`] `submit` impl: ops of one request are
+    /// admitted all-or-nothing and enqueued contiguously under one
+    /// fresh group id. `make` lowers the request into its
+    /// `(ops, deadline, min_seq)` only once admission is certain, so a
+    /// rejection never pays for (and then tears down) the per-op
+    /// resolver plumbing; it runs under the queue lock and must not
+    /// take locks of its own.
+    fn enqueue_ops(
+        &self,
+        n_ops: usize,
+        make: impl FnOnce() -> (Vec<Op<S, D>>, Option<Duration>, Option<u64>),
+    ) -> Result<(), SubmitError> {
+        let now = Instant::now();
+        let mut q = lock(&self.inner.queue);
+        if q.mode != Mode::Running {
+            return Err(SubmitError::ShutDown);
+        }
+        if n_ops > self.inner.cfg.queue_capacity {
+            // Rejecting as Overloaded would send the caller into a
+            // futile retry loop: this request can never fit.
+            return Err(SubmitError::RequestTooLarge {
+                ops: n_ops,
+                capacity: self.inner.cfg.queue_capacity,
+            });
+        }
+        if q.q.len() + n_ops > self.inner.cfg.queue_capacity {
+            let depth = q.q.len();
+            lock(&self.inner.stats).overloaded += 1;
+            return Err(SubmitError::Overloaded { depth });
+        }
+        let (ops, deadline, min_seq) = make();
+        debug_assert_eq!(ops.len(), n_ops, "make() must produce the admitted op count");
+        q.group_counter += 1;
+        let group = q.group_counter;
+        let deadline = deadline.map(|d| now + d);
+        for op in ops {
+            q.q.push_back(Pending { op, submitted: now, deadline, min_seq, group });
+        }
+        self.inner.arrived.notify_all();
+        lock(&self.inner.stats).submitted += n_ops as u64;
+        Ok(())
     }
 
     /// Deterministic fault injection for tests and harnesses: the next
@@ -563,6 +526,31 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
     }
 }
 
+impl<S: Semigroup, const D: usize> RangeStore<S, D> for ShardedService<S, D> {
+    /// Submit a composed multi-op request as one unit (the single-op
+    /// `count`/`insert`/… conveniences are the trait's default methods
+    /// over this).
+    ///
+    /// Admission is all-or-nothing: either every op of the request is
+    /// enqueued contiguously (writes first, then reads — so the reads
+    /// coalesce into one fused window per shard and observe the
+    /// request's own writes), or the whole request is rejected. Each op
+    /// counts toward the queue capacity and the submission telemetry
+    /// individually.
+    fn submit(&self, req: Request<S, D>) -> Result<Ticket<Response<S>>, SubmitError> {
+        assert!(!req.is_empty(), "submitted an empty request");
+        let n_ops = req.len();
+        let mut ticket = None;
+        self.enqueue_ops(n_ops, || {
+            let planned = req.plan();
+            let ops = planned.ops.into_iter().map(Op::Client).collect();
+            ticket = Some(planned.ticket);
+            (ops, planned.deadline, planned.min_seq)
+        })?;
+        Ok(ticket.expect("admission ran the lowering closure"))
+    }
+}
+
 impl<S: Semigroup, const D: usize> Drop for ShardedService<S, D> {
     fn drop(&mut self) {
         if self.router.is_some() {
@@ -612,7 +600,11 @@ impl<S: Semigroup, const D: usize> Router<S, D> {
 }
 
 /// Pop the dispatchable prefix: expired requests plus the longest
-/// same-kind run, capped at `max_batch` (splits dispatch alone).
+/// same-kind run, capped at `max_batch` (splits dispatch alone) — except
+/// that the cap never splits one request's contiguous same-kind run
+/// (same group id): the client contract guarantees a request's reads
+/// fuse into one dispatch per shard, and that guarantee outranks the
+/// cap.
 fn carve<S: Semigroup, const D: usize>(
     q: &mut VecDeque<Pending<S, D>>,
     max_batch: usize,
@@ -621,11 +613,14 @@ fn carve<S: Semigroup, const D: usize>(
     let mut expired = Vec::new();
     let mut batch: Vec<Pending<S, D>> = Vec::new();
     let mut kind: Option<Kind> = None;
-    while batch.len() < max_batch {
-        let Some(front) = q.front() else { break };
+    let mut last_group: Option<u64> = None;
+    while let Some(front) = q.front() {
         if front.deadline.is_some_and(|d| d <= now) {
             expired.push(q.pop_front().unwrap());
             continue;
+        }
+        if batch.len() >= max_batch && last_group != Some(front.group) {
+            break;
         }
         let k = front.op.kind();
         match kind {
@@ -633,6 +628,7 @@ fn carve<S: Semigroup, const D: usize>(
             Some(prev) if prev != k => break,
             _ => {}
         }
+        last_group = Some(front.group);
         batch.push(q.pop_front().unwrap());
         if k == Kind::Split {
             break;
@@ -700,6 +696,19 @@ fn router_loop<S: Semigroup, const D: usize>(
             }
             for p in expired {
                 p.op.fail(ServiceError::DeadlineExpired);
+            }
+        }
+        // Consistency bounds gate reads only (a write observes
+        // nothing), judged at dispatch time against the global commit
+        // counter, exactly as in the unsharded service.
+        let (batch, unmet): (Vec<_>, Vec<_>) = batch.into_iter().partition(|p| {
+            p.op.kind() != Kind::Read || p.min_seq.is_none_or(|s| s < router.next_seq)
+        });
+        if !unmet.is_empty() {
+            lock(&inner.stats).completed += unmet.len() as u64;
+            for p in unmet {
+                let required = p.min_seq.expect("partitioned on min_seq");
+                p.op.fail(ServiceError::Consistency { required, committed: router.next_seq });
             }
         }
         let Some(first) = batch.first() else { continue };
@@ -775,40 +784,41 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
     let mut slots: Vec<(RSlot<S>, Instant)> = Vec::with_capacity(batch.len());
 
     for p in batch {
-        let rect = match &p.op {
-            Op::Count(q, _) | Op::Aggregate(q, _) | Op::Report(q, _) => *q,
+        let Op::Client(op) = p.op else { unreachable!("carve() mixed non-reads into a read run") };
+        let rect = match &op {
+            PlannedOp::Count(q, _) | PlannedOp::Aggregate(q, _) | PlannedOp::Report(q, _) => *q,
             _ => unreachable!("carve() mixed non-reads into a read run"),
         };
         let fan = router.part.read_fanout(&rect);
         if let Some(bad) = fan.clone().find(|&s| router.poisoned[s].is_some()) {
             let reason = router.poisoned[bad].clone().unwrap_or_default();
             let msg = format!("shard {bad} is poisoned: {reason}");
-            let fail: Box<dyn FnOnce(ServiceError) + Send> = match p.op {
-                Op::Count(_, r) => Box::new(move |e| r.resolve(Err(e))),
-                Op::Aggregate(_, r) => Box::new(move |e| r.resolve(Err(e))),
-                Op::Report(_, r) => Box::new(move |e| r.resolve(Err(e))),
+            let fail: Box<dyn FnOnce(ServiceError) + Send> = match op {
+                PlannedOp::Count(_, r) => Box::new(move |e| r.resolve(Err(e))),
+                PlannedOp::Aggregate(_, r) => Box::new(move |e| r.resolve(Err(e))),
+                PlannedOp::Report(_, r) => Box::new(move |e| r.resolve(Err(e))),
                 _ => unreachable!(),
             };
             slots.push((RSlot::Unavailable(fail, msg), p.submitted));
             continue;
         }
         let mut parts: PartRefs = Vec::new();
-        match p.op {
-            Op::Count(_, r) => {
+        match op {
+            PlannedOp::Count(_, r) => {
                 for s in fan {
                     plans[s].0.push(router.part.clip(s, &rect));
                     parts.push((s, plans[s].0.len() - 1));
                 }
                 slots.push((RSlot::Count(parts, r), p.submitted));
             }
-            Op::Aggregate(_, r) => {
+            PlannedOp::Aggregate(_, r) => {
                 for s in fan {
                     plans[s].1.push(router.part.clip(s, &rect));
                     parts.push((s, plans[s].1.len() - 1));
                 }
                 slots.push((RSlot::Agg(parts, r), p.submitted));
             }
-            Op::Report(_, r) => {
+            PlannedOp::Report(_, r) => {
                 for s in fan {
                     plans[s].2.push(router.part.clip(s, &rect));
                     parts.push((s, plans[s].2.len() - 1));
@@ -970,7 +980,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
 
     for p in batch {
         match p.op {
-            Op::Insert(pts, r) => {
+            Op::Client(PlannedOp::Insert(pts, r)) => {
                 let mut verdict = Verdict::Commit;
                 let mut seen: HashSet<u32> = HashSet::with_capacity(pts.len());
                 let mut placements: Vec<usize> = Vec::with_capacity(pts.len());
@@ -1002,7 +1012,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
                 }
                 outcomes.push((r, verdict, p.submitted));
             }
-            Op::Delete(ids, r) => {
+            Op::Client(PlannedOp::Delete(ids, r)) => {
                 // First pass: the delete must not touch a poisoned
                 // shard; if it would, it fails atomically (no partial
                 // application anywhere).

@@ -15,9 +15,10 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use ddrs_rangetree::Point;
+use ddrs_client::{RangeStore, SubmitError, Ticket};
+use ddrs_rangetree::{Point, Semigroup};
 
-use crate::queries::{MixedQuery, QueryDistribution, QueryWorkload};
+use crate::queries::{MixedQuery, QueryDistribution, QueryMode, QueryWorkload};
 
 /// Shape of the arrival process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -220,6 +221,33 @@ pub fn request_stream<const D: usize>(
         out.push(TimedOp { at: *at, op });
     }
     out
+}
+
+/// Submit one [`ServiceOp`] through the unified client trait, returning
+/// a ticket for a scalar summary of the response: the count, the
+/// aggregate (0 when empty), the number of reported ids, or 0 for a
+/// committed write.
+///
+/// This is the one driver every request-stream consumer shares — the
+/// serving example, the benches and the repro experiments all route a
+/// [`TimedOp`] stream through any [`RangeStore`] backend with it,
+/// instead of re-matching the op shape per front-end.
+pub fn submit_op<S, const D: usize>(
+    store: &dyn RangeStore<S, D>,
+    op: &ServiceOp<D>,
+) -> Result<Ticket<u64>, SubmitError>
+where
+    S: Semigroup<Val = u64>,
+{
+    match op {
+        ServiceOp::Query(q) => match q.mode {
+            QueryMode::Count => store.count(q.rect),
+            QueryMode::Aggregate => Ok(store.aggregate(q.rect)?.map(|v| v.unwrap_or(0))),
+            QueryMode::Report => Ok(store.report(q.rect)?.map(|ids| ids.len() as u64)),
+        },
+        ServiceOp::Insert(pts) => Ok(store.insert(pts.clone())?.map(|()| 0)),
+        ServiceOp::Delete(ids) => Ok(store.delete(ids.clone())?.map(|()| 0)),
+    }
 }
 
 #[cfg(test)]

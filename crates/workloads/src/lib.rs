@@ -13,7 +13,9 @@ mod points;
 mod queries;
 mod trace;
 
-pub use arrivals::{request_stream, ArrivalProcess, ArrivalTrace, RequestMix, ServiceOp, TimedOp};
+pub use arrivals::{
+    request_stream, submit_op, ArrivalProcess, ArrivalTrace, RequestMix, ServiceOp, TimedOp,
+};
 pub use points::{PointDistribution, WorkloadBuilder};
 pub use queries::{MixedQuery, QueryDistribution, QueryMode, QueryWorkload};
 pub use trace::CsvTable;

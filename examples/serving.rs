@@ -14,8 +14,7 @@
 use std::time::Duration;
 
 use ddrs::prelude::*;
-use ddrs::service::ServiceError;
-use ddrs::workloads::{request_stream, QueryDistribution, RequestMix, ServiceOp};
+use ddrs::workloads::{request_stream, submit_op, QueryDistribution, RequestMix};
 
 fn main() {
     let p = 8;
@@ -66,28 +65,9 @@ fn main() {
                     if target > now {
                         std::thread::sleep(target - now);
                     }
-                    let outcome: Result<u64, ServiceError> = match &timed.op {
-                        ServiceOp::Query(q) => match q.mode {
-                            ddrs::workloads::QueryMode::Count => {
-                                service.count(q.rect).unwrap().wait().map(|c| c.value)
-                            }
-                            ddrs::workloads::QueryMode::Aggregate => service
-                                .aggregate(q.rect)
-                                .unwrap()
-                                .wait()
-                                .map(|c| c.value.unwrap_or(0)),
-                            ddrs::workloads::QueryMode::Report => {
-                                service.report(q.rect).unwrap().wait().map(|c| c.value.len() as u64)
-                            }
-                        },
-                        ServiceOp::Insert(pts) => {
-                            service.insert(pts.clone()).unwrap().wait().map(|_| 0)
-                        }
-                        ServiceOp::Delete(ids) => {
-                            service.delete(ids.clone()).unwrap().wait().map(|_| 0)
-                        }
-                    };
-                    outcome.expect("request failed");
+                    // One shared driver for every op shape and every
+                    // backend: the stream rides the `RangeStore` trait.
+                    submit_op(service, &timed.op).unwrap().wait().expect("request failed");
                     served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }
             });

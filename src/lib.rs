@@ -13,6 +13,12 @@
 //!   fully-replicated parallel scheme the paper argues against,
 //! * [`workloads`] — deterministic point/query generators used by the
 //!   experiment harness,
+//! * [`client`] — the unified client contract: the
+//!   [`RangeStore`](client::RangeStore) trait every serving backend
+//!   implements, composable multi-op [`Request`](client::Request)s,
+//!   `Future`-based [`Ticket`](client::Ticket)s, per-request
+//!   [`Consistency`](client::Consistency) bounds, and the zero-thread
+//!   [`InlineStore`](client::InlineStore) backend,
 //! * [`engine`] — the mixed-mode query engine: heterogeneous
 //!   count/aggregate/report batches planned into one SPMD submission
 //!   (one [`Machine::run`](cgm::Machine::run) per client batch, however
@@ -53,6 +59,7 @@
 //! ```
 pub use ddrs_baselines as baselines;
 pub use ddrs_cgm as cgm;
+pub use ddrs_client as client;
 pub use ddrs_engine as engine;
 pub use ddrs_rangetree as rangetree;
 pub use ddrs_service as service;
@@ -65,6 +72,7 @@ pub mod prelude {
         BruteForce, KdTree, LayeredRangeTree2d, ReplicatedRangeTree, WeightedDominance2d,
     };
     pub use ddrs_cgm::{Machine, RunStats, RunStatsRollup};
+    pub use ddrs_client::{Consistency, InlineStore, RangeStore, Request, Response, WaitFor};
     pub use ddrs_engine::{BatchResults, QueryBatch};
     pub use ddrs_rangetree::{
         Count, DistRangeTree, DynamicDistRangeTree, Point, Rect, SeqRangeTree, Sum,

@@ -360,7 +360,9 @@ fn shutdown_under_load_drains_accepted_work() {
     let mut served = 0u64;
     for ticket in accepted {
         // Drain mode: accepted work is served, not rejected.
-        let c = ticket.wait_timeout(Duration::from_secs(10)).expect("drain left a ticket hanging");
+        let ddrs::prelude::WaitFor::Ready(c) = ticket.wait_for(Duration::from_secs(10)) else {
+            panic!("drain left a ticket hanging");
+        };
         let c = c.expect("drained ticket must resolve successfully");
         served += 1;
         assert!(c.value <= oracle.pts.len() as u64);
