@@ -78,12 +78,20 @@ fn bench_shard_scaling(c: &mut Criterion) {
             stats.mean_batch_size()
         );
         println!(
-            "shard s={shards}: mean batch {:.1}, {:.1} queries/run, runs {}, p50 {}µs p99 {}µs",
+            "shard s={shards}: mean batch {:.1}, {:.1} queries/run, runs {}, \
+             fanout {:.2} ({} shards touched / {} routed reads), p50 {}µs p99 {}µs",
             stats.mean_batch_size(),
             stats.coalescing_factor(),
             stats.machine.runs,
+            stats.mean_read_fanout(),
+            stats.read_shards_touched,
+            stats.read_ops_routed,
             stats.p50_latency_us(),
             stats.p99_latency_us(),
+        );
+        println!(
+            "shard s={shards}: per-shard runs {:?}",
+            stats.per_shard.iter().map(|s| s.machine.runs).collect::<Vec<_>>()
         );
         service.shutdown();
     }

@@ -403,6 +403,36 @@ impl<S: Semigroup, const D: usize> PlannedOp<S, D> {
         matches!(self, PlannedOp::Count(..) | PlannedOp::Aggregate(..) | PlannedOp::Report(..))
     }
 
+    /// The query interval of a read op, or `None` for writes. Routers
+    /// use this to clip a query at partition boundaries and enqueue it
+    /// only on the shards it overlaps, without re-parsing the op.
+    pub fn interval(&self) -> Option<&Rect<D>> {
+        match self {
+            PlannedOp::Count(q, _) | PlannedOp::Aggregate(q, _) | PlannedOp::Report(q, _) => {
+                Some(q)
+            }
+            PlannedOp::Insert(..) | PlannedOp::Delete(..) => None,
+        }
+    }
+
+    /// The points of an insert op, or `None` otherwise. Routers use the
+    /// coordinates to place each point on exactly one shard.
+    pub fn insert_points(&self) -> Option<&[Point<D>]> {
+        match self {
+            PlannedOp::Insert(pts, _) => Some(pts),
+            _ => None,
+        }
+    }
+
+    /// The keys of a delete op, or `None` otherwise. Routers resolve
+    /// each key against their ownership index to route the delete.
+    pub fn delete_keys(&self) -> Option<&[u32]> {
+        match self {
+            PlannedOp::Delete(ids, _) => Some(ids),
+            _ => None,
+        }
+    }
+
     /// Resolve this op's ticket with `e`.
     pub fn fail(self, e: ServiceError) {
         match self {

@@ -88,9 +88,9 @@ pub use ddrs_client::{
     ticket, Commit, Outcome, RangeStore, Resolver, ServiceError, SubmitError, Ticket, WaitFor,
 };
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -98,6 +98,7 @@ use ddrs_cgm::{panic_message, Machine};
 use ddrs_client::{PlannedOp, Request, Response};
 use ddrs_engine::QueryBatch;
 use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Semigroup, PAD_ID};
+use ddrs_sched::{gate_reads, Pending, SchedConfig, SchedCore, StopMode, Window};
 
 /// Tuning knobs of the serving layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,47 +124,14 @@ impl Default for ServiceConfig {
     }
 }
 
-/// One request op as it sits in the queue. The op shape itself is the
-/// client contract's [`PlannedOp`] — the service adds only its queueing
-/// metadata.
-struct Pending<S: Semigroup, const D: usize> {
-    op: PlannedOp<S, D>,
-    submitted: Instant,
-    deadline: Option<Instant>,
-    /// Consistency bound: minimum commits the store must have performed
-    /// when this op dispatches (`Consistency::AtLeast`).
-    min_seq: Option<u64>,
-    /// Ops of one request share a group id; `carve` never splits a
-    /// contiguous same-kind run of one group across dispatches, which
-    /// is what makes the one-fused-dispatch guarantee unconditional.
-    group: u64,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Mode {
-    Running,
-    /// Serve everything already queued, then stop.
-    Draining,
-    /// Reject everything already queued, then stop.
-    Rejecting,
-    /// An epoch failed mid-apply; the store may be inconsistent, so stop
-    /// serving (pending requests are rejected).
-    Poisoned,
-}
-
-struct Queue<S: Semigroup, const D: usize> {
-    q: VecDeque<Pending<S, D>>,
-    mode: Mode,
-    /// Source of request group ids (see [`Pending::group`]).
-    group_counter: u64,
-}
-
+/// The service queues the client contract's [`PlannedOp`] directly: all
+/// queueing metadata (deadline, consistency bound, group id) lives in the
+/// shared scheduler core's [`Pending`] wrapper, and all queueing *policy*
+/// (admission, coalescing, carve, expiry) lives in [`SchedCore`] — shared
+/// verbatim with the `ddrs-shard` router.
 struct Inner<S: Semigroup, const D: usize> {
-    cfg: ServiceConfig,
     sg: S,
-    queue: Mutex<Queue<S, D>>,
-    /// Signals the scheduler: new arrival or mode change.
-    arrived: Condvar,
+    core: SchedCore<PlannedOp<S, D>>,
     stats: Mutex<ServiceStats>,
 }
 
@@ -210,13 +178,13 @@ impl<S: Semigroup, const D: usize> Service<S, D> {
         sg: S,
         cfg: ServiceConfig,
     ) -> Self {
-        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
-        assert!(cfg.queue_capacity >= 1, "queue_capacity must be at least 1");
         let inner = Arc::new(Inner {
-            cfg,
             sg,
-            queue: Mutex::new(Queue { q: VecDeque::new(), mode: Mode::Running, group_counter: 0 }),
-            arrived: Condvar::new(),
+            core: SchedCore::new(SchedConfig {
+                max_batch: cfg.max_batch,
+                max_delay: cfg.max_delay,
+                queue_capacity: cfg.queue_capacity,
+            }),
             stats: Mutex::new(ServiceStats::default()),
         });
         let sched_inner = Arc::clone(&inner);
@@ -229,20 +197,14 @@ impl<S: Semigroup, const D: usize> Service<S, D> {
 
     /// Snapshot the service telemetry.
     pub fn stats(&self) -> ServiceStats {
-        let depth = lock(&self.inner.queue).q.len();
+        let depth = self.inner.core.depth();
         let mut snap = lock(&self.inner.stats).clone();
         snap.queue_depth = depth;
         snap
     }
 
-    fn stop(&mut self, mode: Mode) -> (Machine, DynamicDistRangeTree<D>, bool) {
-        {
-            let mut q = lock(&self.inner.queue);
-            if q.mode == Mode::Running {
-                q.mode = mode;
-            }
-            self.inner.arrived.notify_all();
-        }
+    fn stop(&mut self, mode: StopMode) -> (Machine, DynamicDistRangeTree<D>, bool) {
+        self.inner.core.begin_stop(mode);
         self.scheduler
             .take()
             .expect("service already stopped")
@@ -260,11 +222,7 @@ impl<S: Semigroup, const D: usize> Service<S, D> {
     /// holding `&Service` can flip the switch while other threads are
     /// mid-submission.
     pub fn begin_shutdown(&self) {
-        let mut q = lock(&self.inner.queue);
-        if q.mode == Mode::Running {
-            q.mode = Mode::Draining;
-        }
-        self.inner.arrived.notify_all();
+        self.inner.core.begin_stop(StopMode::Drain);
     }
 
     /// Stop accepting work, serve everything already queued, then return
@@ -276,7 +234,7 @@ impl<S: Semigroup, const D: usize> Service<S, D> {
     /// [`ServiceError::Machine`]): the store would be inconsistent, and
     /// handing it back as if healthy would silently serve wrong answers.
     pub fn shutdown(mut self) -> (Machine, DynamicDistRangeTree<D>) {
-        let (machine, tree, poisoned) = self.stop(Mode::Draining);
+        let (machine, tree, poisoned) = self.stop(StopMode::Drain);
         assert!(
             !poisoned,
             "service store poisoned: a write epoch failed mid-apply, the store is inconsistent"
@@ -291,7 +249,7 @@ impl<S: Semigroup, const D: usize> Service<S, D> {
     /// Panics if a write epoch failed mid-apply, as with
     /// [`shutdown`](Service::shutdown).
     pub fn abort(mut self) -> (Machine, DynamicDistRangeTree<D>) {
-        let (machine, tree, poisoned) = self.stop(Mode::Rejecting);
+        let (machine, tree, poisoned) = self.stop(StopMode::Reject);
         assert!(
             !poisoned,
             "service store poisoned: a write epoch failed mid-apply, the store is inconsistent"
@@ -313,56 +271,31 @@ impl<S: Semigroup, const D: usize> RangeStore<S, D> for Service<S, D> {
     fn submit(&self, req: Request<S, D>) -> Result<Ticket<Response<S>>, SubmitError> {
         assert!(!req.is_empty(), "submitted an empty request");
         let n_ops = req.len();
-        let now = Instant::now();
-        let mut q = lock(&self.inner.queue);
-        if q.mode != Mode::Running {
-            return Err(SubmitError::ShutDown);
-        }
-        if n_ops > self.inner.cfg.queue_capacity {
-            // Rejecting as Overloaded would send the caller into a
-            // futile retry loop: this request can never fit.
-            return Err(SubmitError::RequestTooLarge {
-                ops: n_ops,
-                capacity: self.inner.cfg.queue_capacity,
-            });
-        }
-        // The submission counters are bumped while still holding the
-        // queue lock (stats nests inside queue, never the reverse), so
-        // `submitted >= completed` holds in every snapshot — the
-        // scheduler cannot complete a request before its submission is
-        // recorded.
-        if q.q.len() + n_ops > self.inner.cfg.queue_capacity {
-            let depth = q.q.len();
-            lock(&self.inner.stats).overloaded += 1;
-            return Err(SubmitError::Overloaded { depth });
-        }
-        // Lower the request only once admission is certain: plan()
-        // allocates the aggregator and one resolver per op, all of
-        // which a rejection would immediately tear down. It touches no
-        // locks, so running it under the queue lock is safe.
-        let planned = req.plan();
-        q.group_counter += 1;
-        let group = q.group_counter;
-        let deadline = planned.deadline.map(|d| now + d);
-        for op in planned.ops {
-            q.q.push_back(Pending {
-                op,
-                submitted: now,
-                deadline,
-                min_seq: planned.min_seq,
-                group,
-            });
-        }
-        self.inner.arrived.notify_all();
-        lock(&self.inner.stats).submitted += n_ops as u64;
-        Ok(planned.ticket)
+        // Admission, contiguous enqueue and the submitted/overloaded
+        // counter ordering (`submitted >= completed` in every snapshot)
+        // are the shared core's contract. The request is lowered only
+        // once admission is certain: plan() allocates the aggregator and
+        // one resolver per op, all of which a rejection would
+        // immediately tear down.
+        let mut ticket = None;
+        self.inner.core.submit_ops(
+            n_ops,
+            || {
+                let planned = req.plan();
+                ticket = Some(planned.ticket);
+                (planned.ops, planned.deadline, planned.min_seq)
+            },
+            || lock(&self.inner.stats).submitted += n_ops as u64,
+            || lock(&self.inner.stats).overloaded += 1,
+        )?;
+        Ok(ticket.expect("admission ran the lowering closure"))
     }
 }
 
 impl<S: Semigroup, const D: usize> Drop for Service<S, D> {
     fn drop(&mut self) {
         if self.scheduler.is_some() {
-            let _ = self.stop(Mode::Draining);
+            let _ = self.stop(StopMode::Drain);
         }
     }
 }
@@ -371,7 +304,7 @@ impl<S: Semigroup, const D: usize> std::fmt::Debug for Service<S, D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Service")
             .field("d", &D)
-            .field("queue_depth", &lock(&self.inner.queue).q.len())
+            .field("queue_depth", &self.inner.core.depth())
             .finish()
     }
 }
@@ -379,40 +312,6 @@ impl<S: Semigroup, const D: usize> std::fmt::Debug for Service<S, D> {
 // ---------------------------------------------------------------------
 // Scheduler
 // ---------------------------------------------------------------------
-
-/// Pop the dispatchable prefix: expired requests (failed immediately) and
-/// the longest same-kind run, capped at `max_batch` — except that the cap
-/// never splits one request's contiguous same-kind run (same group id):
-/// the client contract guarantees a request's reads fuse into ONE
-/// dispatch, and that guarantee outranks the cap.
-fn carve<S: Semigroup, const D: usize>(
-    q: &mut VecDeque<Pending<S, D>>,
-    max_batch: usize,
-) -> (Vec<Pending<S, D>>, Vec<Pending<S, D>>) {
-    let now = Instant::now();
-    let mut expired = Vec::new();
-    let mut batch: Vec<Pending<S, D>> = Vec::new();
-    let mut kind: Option<bool> = None;
-    let mut last_group: Option<u64> = None;
-    while let Some(front) = q.front() {
-        if front.deadline.is_some_and(|d| d <= now) {
-            expired.push(q.pop_front().unwrap());
-            continue;
-        }
-        if batch.len() >= max_batch && last_group != Some(front.group) {
-            break;
-        }
-        let is_read = front.op.is_read();
-        match kind {
-            None => kind = Some(is_read),
-            Some(k) if k != is_read => break,
-            _ => {}
-        }
-        last_group = Some(front.group);
-        batch.push(q.pop_front().unwrap());
-    }
-    (batch, expired)
-}
 
 /// Per-read bookkeeping between batch assembly and result distribution.
 enum ReadSlot<S: Semigroup> {
@@ -445,55 +344,22 @@ fn scheduler_loop<S: Semigroup, const D: usize>(
     machine.take_stats();
     loop {
         // Phase 1: wait for the group-commit condition (or a stop mode).
-        let (batch, expired) = {
-            let mut q = lock(&inner.queue);
-            loop {
-                match q.mode {
-                    Mode::Rejecting | Mode::Poisoned => {
-                        let poisoned = q.mode == Mode::Poisoned;
-                        let drained: Vec<Pending<S, D>> = q.q.drain(..).collect();
-                        drop(q);
-                        // Stats before resolution, here and in the
-                        // dispatch paths: a client that has observed its
-                        // response must also observe its effects in the
-                        // telemetry.
-                        lock(&inner.stats).completed += drained.len() as u64;
-                        for p in drained {
-                            p.op.fail(ServiceError::ShuttingDown);
-                        }
-                        return (machine, tree, poisoned);
-                    }
-                    Mode::Draining => {
-                        if q.q.is_empty() {
-                            return (machine, tree, false);
-                        }
-                        break; // dispatch immediately, no delay window
-                    }
-                    Mode::Running => {
-                        if q.q.is_empty() {
-                            q = inner
-                                .arrived
-                                .wait(q)
-                                .unwrap_or_else(std::sync::PoisonError::into_inner);
-                            continue;
-                        }
-                        if q.q.len() >= inner.cfg.max_batch {
-                            break;
-                        }
-                        let dispatch_at = q.q.front().unwrap().submitted + inner.cfg.max_delay;
-                        let now = Instant::now();
-                        if now >= dispatch_at {
-                            break;
-                        }
-                        let (guard, _) = inner
-                            .arrived
-                            .wait_timeout(q, dispatch_at - now)
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
-                        q = guard;
-                    }
+        // When, what and how much to dispatch is the shared core's
+        // decision; this loop only executes what it carves.
+        let (batch, expired) = match inner.core.next_window(None, PlannedOp::is_read, |_| false) {
+            Window::Shutdown { rejected, poisoned } => {
+                // Stats before resolution, here and in the dispatch
+                // paths: a client that has observed its response
+                // must also observe its effects in the telemetry.
+                lock(&inner.stats).completed += rejected.len() as u64;
+                for p in rejected {
+                    p.op.fail(ServiceError::ShuttingDown);
                 }
+                return (machine, tree, poisoned);
             }
-            carve(&mut q.q, inner.cfg.max_batch)
+            // No wake_at was requested, so the core never idles.
+            Window::Idle => continue,
+            Window::Dispatch { batch, expired } => (batch, expired),
         };
 
         if !expired.is_empty() {
@@ -512,9 +378,7 @@ fn scheduler_loop<S: Semigroup, const D: usize>(
         // performed fails instead of serving state it promised not to
         // serve. (A bound learned from this store's own commits is
         // always satisfied — dispatch is FIFO.)
-        let (batch, unmet): (Vec<_>, Vec<_>) = batch
-            .into_iter()
-            .partition(|p| !p.op.is_read() || p.min_seq.is_none_or(|s| s < next_seq));
+        let (batch, unmet) = gate_reads(batch, next_seq, PlannedOp::is_read);
         if !unmet.is_empty() {
             lock(&inner.stats).completed += unmet.len() as u64;
             for p in unmet {
@@ -541,7 +405,7 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
     inner: &Inner<S, D>,
     machine: &Machine,
     tree: &DynamicDistRangeTree<D>,
-    batch: Vec<Pending<S, D>>,
+    batch: Vec<Pending<PlannedOp<S, D>>>,
     next_seq: &mut u64,
 ) {
     let mut qb = QueryBatch::new(inner.sg);
@@ -622,7 +486,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
     inner: &Inner<S, D>,
     machine: &Machine,
     tree: &mut DynamicDistRangeTree<D>,
-    batch: Vec<Pending<S, D>>,
+    batch: Vec<Pending<PlannedOp<S, D>>>,
     next_seq: &mut u64,
 ) {
     // Epoch delta over the store: Some(pt) = inserted this epoch (live),
@@ -732,8 +596,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
                 Err(payload) => format!("write epoch panicked: {}", panic_message(&*payload)),
                 Ok(Ok(())) => unreachable!(),
             };
-            lock(&inner.queue).mode = Mode::Poisoned;
-            inner.arrived.notify_all();
+            inner.core.poison();
             let err = ServiceError::Machine(msg);
             for (r, _, _) in outcomes {
                 r.resolve(Err(err.clone()));

@@ -12,39 +12,54 @@
 //!  client threads        router thread                 shard groups
 //!  ──────────────   ┌──────────────────────┐   ┌───────────────────────┐
 //!  count(q) ───┐    │ group-commit window  │   │ shard 0: Machine +    │
-//!  insert(b) ──┼──▶ │  (max_batch /        │──▶│  tree + scheduler     │
-//!  report(q) ──┘    │   max_delay)         │   ├───────────────────────┤
-//!     │             │                      │   │ shard 1: Machine + …  │
-//!     ▼             │ reads → per-shard    │   ├───────────────────────┤
-//!  Ticket::wait ◀───│  fused sub-batches,  │   │ …                     │
-//!  (value, global   │  scatter ∥ gather,   │   ├───────────────────────┤
-//!   commit seq)     │  merge partials      │   │ shard S-1             │
+//!  insert(b) ──┼──▶ │  (ddrs-sched core:   │──▶│  tree + worker thread │
+//!  report(q) ──┘    │   max_batch /        │   ├───────────────────────┤
+//!     │             │   max_delay)         │   │ shard 1: Machine + …  │
+//!     ▼             │                      │   ├───────────────────────┤
+//!  Ticket::wait ◀───│ reads → routed fused │   │ …                     │
+//!  (value, global   │  sub-batches, async  │   ├───────────────────────┤
+//!   commit seq)     │  scatter-gather      │   │ shard S-1             │
 //!                   │ writes → routed      │   └───────────────────────┘
-//!                   │  sub-epochs          │     each sub-batch: ≤ 1
+//!                   │  sub-epoch barrier   │     each sub-batch: ≤ 1
 //!                   └──────────────────────┘     Machine::run per shard
 //! ```
 //!
 //! ## Routing and merging
 //!
 //! * **Reads.** A coalesced read window is planned into at most one fused
-//!   sub-batch per shard ([`ddrs_engine::QueryBatch`]), so a mixed
-//!   cross-shard read batch costs **at most `S` machine runs** however
-//!   many queries it coalesced. Under the range policy a query is sent
-//!   only to the slabs its first-axis interval overlaps, clipped at the
-//!   shard boundaries; under hash placement it fans out to every shard.
+//!   sub-batch per *touched* shard ([`ddrs_engine::QueryBatch`]), so a
+//!   mixed cross-shard read batch costs **at most one machine run per
+//!   shard it overlaps** however many queries it coalesced. Under the
+//!   range policy a query is enqueued only on the slabs its first-axis
+//!   interval overlaps, clipped at the shard boundaries; under hash
+//!   placement a degenerate (point) query routes to exactly the shard
+//!   the placement mix chose, while wider hash-policy scans — the one
+//!   genuinely unroutable shape — still fan out to every shard.
 //!   Partials merge deterministically: counts sum, aggregates fold with
 //!   the (commutative) semigroup, report ids concatenate and sort
 //!   ascending — byte-identical to the unsharded answer.
 //! * **Writes.** Each write routes by key: inserts to the placement
 //!   policy's shard, deletes to the owning shard (the router keeps the
 //!   authoritative id → shard index). A write window applies as one
-//!   sub-epoch per touched shard, scattered in parallel.
+//!   sub-epoch per touched shard, scattered in parallel and gathered as
+//!   a barrier before the next window dispatches.
+//! * **Concurrency.** Read windows never block the router: each shard's
+//!   fused sub-batch executes on that shard's own worker thread, which
+//!   also resolves the tickets (single-shard directly; cross-shard via a
+//!   shared countdown merging the partials). The router carves and
+//!   scatters the next window while earlier reads are still running, so
+//!   shards with independent work proceed in parallel. Write epochs and
+//!   splits stay synchronous on the router thread — that barrier *is*
+//!   the epoch protocol.
 //! * **Global sequence.** The router assigns every committed response a
-//!   position in one *global* commit order, exactly like the unsharded
-//!   service: replaying committed requests in `seq` order through a
-//!   sequential oracle reproduces every response — the serializability
-//!   invariant survives sharding because the router is the only client
-//!   of every shard group and never lets reads and writes overlap.
+//!   position in one *global* commit order at planning time, exactly
+//!   like the unsharded service: replaying committed requests in `seq`
+//!   order through a sequential oracle reproduces every response. The
+//!   invariant survives concurrent reads because each worker executes
+//!   its jobs in FIFO order and every write epoch is a router barrier:
+//!   a read planned between write epochs `W_k` and `W_{k+1}` reaches
+//!   every shard after `W_k`'s sub-epochs and before `W_{k+1}`'s, so it
+//!   observes exactly the post-`W_k` state its pre-assigned seq claims.
 //!
 //! ## Failure containment
 //!
@@ -103,13 +118,14 @@ mod worker;
 pub use partition::PartitionPolicy;
 pub use stats::{ShardSnapshot, ShardedStats};
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ddrs_cgm::Machine;
+use ddrs_cgm::{Machine, RunStats};
 use ddrs_client::{
     ticket, Commit, PlannedOp, RangeStore, Request, Resolver, Response, ServiceError, SubmitError,
     Ticket,
@@ -117,9 +133,10 @@ use ddrs_client::{
 use ddrs_engine::{BatchResults, QueryBatch};
 use ddrs_rangetree::semigroup::comb_opt;
 use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Rect, Semigroup, PAD_ID};
+use ddrs_sched::{gate_reads, Pending, SchedConfig, SchedCore, StopMode, Window};
 
 use partition::Partitioner;
-use worker::{spawn_worker, ReadReply, ShardJob, SplitReply, WorkerHandle, WriteReply};
+use worker::{spawn_worker, ReadComplete, ShardJob, SplitReply, WorkerHandle, WriteReply};
 
 /// Tuning knobs of the sharded serving layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -205,39 +222,12 @@ impl<S: Semigroup, const D: usize> Op<S, D> {
     }
 }
 
-struct Pending<S: Semigroup, const D: usize> {
-    op: Op<S, D>,
-    submitted: Instant,
-    deadline: Option<Instant>,
-    /// Consistency bound: minimum commits the router must have performed
-    /// when this op dispatches (`Consistency::AtLeast`).
-    min_seq: Option<u64>,
-    /// Ops of one request share a group id; `carve` never splits a
-    /// contiguous same-kind run of one group across dispatches, which
-    /// is what makes the one-fused-dispatch-per-shard guarantee
-    /// unconditional.
-    group: u64,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Mode {
-    Running,
-    Draining,
-    Rejecting,
-}
-
-struct Queue<S: Semigroup, const D: usize> {
-    q: VecDeque<Pending<S, D>>,
-    mode: Mode,
-    /// Source of request group ids (see [`Pending::group`]).
-    group_counter: u64,
-}
-
 struct Inner<S: Semigroup, const D: usize> {
     cfg: ShardedConfig,
     sg: S,
-    queue: Mutex<Queue<S, D>>,
-    arrived: Condvar,
+    /// The shared group-commit scheduler core (admission, window firing,
+    /// group-preserving carve, deadline expiry — see `ddrs-sched`).
+    core: SchedCore<Op<S, D>>,
     stats: Mutex<ShardedStats>,
     /// Shards whose next write sub-epoch should suffer an injected
     /// mid-epoch processor panic (deterministic fault injection for the
@@ -351,8 +341,11 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
         let inner = Arc::new(Inner {
             cfg,
             sg,
-            queue: Mutex::new(Queue { q: VecDeque::new(), mode: Mode::Running, group_counter: 0 }),
-            arrived: Condvar::new(),
+            core: SchedCore::new(SchedConfig {
+                max_batch: cfg.max_batch,
+                max_delay: cfg.max_delay,
+                queue_capacity: cfg.queue_capacity,
+            }),
             stats: Mutex::new(ShardedStats {
                 per_shard: shard_len
                     .iter()
@@ -392,47 +385,22 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
     }
 
     /// Admission shared by [`split_shard`](ShardedService::split_shard)
-    /// and the [`RangeStore`] `submit` impl: ops of one request are
-    /// admitted all-or-nothing and enqueued contiguously under one
-    /// fresh group id. `make` lowers the request into its
-    /// `(ops, deadline, min_seq)` only once admission is certain, so a
-    /// rejection never pays for (and then tears down) the per-op
-    /// resolver plumbing; it runs under the queue lock and must not
-    /// take locks of its own.
+    /// and the [`RangeStore`] `submit` impl, delegated to the shared
+    /// scheduler core: ops of one request are admitted all-or-nothing
+    /// and enqueued contiguously under one fresh group id. `make` lowers
+    /// the request only once admission is certain; it runs under the
+    /// core's queue lock and must not take locks of its own.
     fn enqueue_ops(
         &self,
         n_ops: usize,
         make: impl FnOnce() -> (Vec<Op<S, D>>, Option<Duration>, Option<u64>),
     ) -> Result<(), SubmitError> {
-        let now = Instant::now();
-        let mut q = lock(&self.inner.queue);
-        if q.mode != Mode::Running {
-            return Err(SubmitError::ShutDown);
-        }
-        if n_ops > self.inner.cfg.queue_capacity {
-            // Rejecting as Overloaded would send the caller into a
-            // futile retry loop: this request can never fit.
-            return Err(SubmitError::RequestTooLarge {
-                ops: n_ops,
-                capacity: self.inner.cfg.queue_capacity,
-            });
-        }
-        if q.q.len() + n_ops > self.inner.cfg.queue_capacity {
-            let depth = q.q.len();
-            lock(&self.inner.stats).overloaded += 1;
-            return Err(SubmitError::Overloaded { depth });
-        }
-        let (ops, deadline, min_seq) = make();
-        debug_assert_eq!(ops.len(), n_ops, "make() must produce the admitted op count");
-        q.group_counter += 1;
-        let group = q.group_counter;
-        let deadline = deadline.map(|d| now + d);
-        for op in ops {
-            q.q.push_back(Pending { op, submitted: now, deadline, min_seq, group });
-        }
-        self.inner.arrived.notify_all();
-        lock(&self.inner.stats).submitted += n_ops as u64;
-        Ok(())
+        self.inner.core.submit_ops(
+            n_ops,
+            make,
+            || lock(&self.inner.stats).submitted += n_ops as u64,
+            || lock(&self.inner.stats).overloaded += 1,
+        )
     }
 
     /// Deterministic fault injection for tests and harnesses: the next
@@ -447,20 +415,14 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
 
     /// Snapshot the service telemetry.
     pub fn stats(&self) -> ShardedStats {
-        let depth = lock(&self.inner.queue).q.len();
+        let depth = self.inner.core.depth();
         let mut snap = lock(&self.inner.stats).clone();
         snap.queue_depth = depth;
         snap
     }
 
-    fn stop(&mut self, mode: Mode) -> Vec<ShardParts<D>> {
-        {
-            let mut q = lock(&self.inner.queue);
-            if q.mode == Mode::Running {
-                q.mode = mode;
-            }
-            self.inner.arrived.notify_all();
-        }
+    fn stop(&mut self, mode: StopMode) -> Vec<ShardParts<D>> {
+        self.inner.core.begin_stop(mode);
         self.router
             .take()
             .expect("sharded service already stopped")
@@ -471,11 +433,7 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
     /// Begin a graceful shutdown without blocking: new submissions fail
     /// from this point on while already queued requests are served.
     pub fn begin_shutdown(&self) {
-        let mut q = lock(&self.inner.queue);
-        if q.mode == Mode::Running {
-            q.mode = Mode::Draining;
-        }
-        self.inner.arrived.notify_all();
+        self.inner.core.begin_stop(StopMode::Drain);
     }
 
     /// Stop accepting work, serve everything queued, then hand back each
@@ -487,7 +445,7 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
     /// [`dismantle`](ShardedService::dismantle) to recover the healthy
     /// shards around a poisoned one.
     pub fn shutdown(mut self) -> Vec<(Machine, DynamicDistRangeTree<D>)> {
-        let parts = self.stop(Mode::Draining);
+        let parts = self.stop(StopMode::Drain);
         parts
             .into_iter()
             .map(|p| {
@@ -506,7 +464,7 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
     /// Panics if any shard was poisoned, as with
     /// [`shutdown`](ShardedService::shutdown).
     pub fn abort(mut self) -> Vec<(Machine, DynamicDistRangeTree<D>)> {
-        let parts = self.stop(Mode::Rejecting);
+        let parts = self.stop(StopMode::Reject);
         parts
             .into_iter()
             .map(|p| {
@@ -522,7 +480,7 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
     /// poisoned or not — the forensic exit the fault harness uses to
     /// inspect healthy siblings around a quarantined shard.
     pub fn dismantle(mut self) -> Vec<ShardParts<D>> {
-        self.stop(Mode::Rejecting)
+        self.stop(StopMode::Reject)
     }
 }
 
@@ -554,7 +512,7 @@ impl<S: Semigroup, const D: usize> RangeStore<S, D> for ShardedService<S, D> {
 impl<S: Semigroup, const D: usize> Drop for ShardedService<S, D> {
     fn drop(&mut self) {
         if self.router.is_some() {
-            let _ = self.stop(Mode::Draining);
+            let _ = self.stop(StopMode::Drain);
         }
     }
 }
@@ -564,7 +522,7 @@ impl<S: Semigroup, const D: usize> std::fmt::Debug for ShardedService<S, D> {
         f.debug_struct("ShardedService")
             .field("shards", &self.shards)
             .field("d", &D)
-            .field("queue_depth", &lock(&self.inner.queue).q.len())
+            .field("queue_depth", &self.inner.core.depth())
             .finish()
     }
 }
@@ -599,93 +557,27 @@ impl<S: Semigroup, const D: usize> Router<S, D> {
     }
 }
 
-/// Pop the dispatchable prefix: expired requests plus the longest
-/// same-kind run, capped at `max_batch` (splits dispatch alone) — except
-/// that the cap never splits one request's contiguous same-kind run
-/// (same group id): the client contract guarantees a request's reads
-/// fuse into one dispatch per shard, and that guarantee outranks the
-/// cap.
-fn carve<S: Semigroup, const D: usize>(
-    q: &mut VecDeque<Pending<S, D>>,
-    max_batch: usize,
-) -> (Vec<Pending<S, D>>, Vec<Pending<S, D>>) {
-    let now = Instant::now();
-    let mut expired = Vec::new();
-    let mut batch: Vec<Pending<S, D>> = Vec::new();
-    let mut kind: Option<Kind> = None;
-    let mut last_group: Option<u64> = None;
-    while let Some(front) = q.front() {
-        if front.deadline.is_some_and(|d| d <= now) {
-            expired.push(q.pop_front().unwrap());
-            continue;
-        }
-        if batch.len() >= max_batch && last_group != Some(front.group) {
-            break;
-        }
-        let k = front.op.kind();
-        match kind {
-            None => kind = Some(k),
-            Some(prev) if prev != k => break,
-            _ => {}
-        }
-        last_group = Some(front.group);
-        batch.push(q.pop_front().unwrap());
-        if k == Kind::Split {
-            break;
-        }
-    }
-    (batch, expired)
-}
-
 fn router_loop<S: Semigroup, const D: usize>(
-    inner: &Inner<S, D>,
+    inner: &Arc<Inner<S, D>>,
     mut router: Router<S, D>,
 ) -> Vec<ShardParts<D>> {
     loop {
-        let (batch, expired) = {
-            let mut q = lock(&inner.queue);
-            loop {
-                match q.mode {
-                    Mode::Rejecting => {
-                        let drained: Vec<Pending<S, D>> = q.q.drain(..).collect();
-                        drop(q);
-                        lock(&inner.stats).completed += drained.len() as u64;
-                        for p in drained {
-                            p.op.fail(ServiceError::ShuttingDown);
-                        }
-                        return stop_workers(router);
-                    }
-                    Mode::Draining => {
-                        if q.q.is_empty() {
-                            return stop_workers(router);
-                        }
-                        break;
-                    }
-                    Mode::Running => {
-                        if q.q.is_empty() {
-                            q = inner
-                                .arrived
-                                .wait(q)
-                                .unwrap_or_else(std::sync::PoisonError::into_inner);
-                            continue;
-                        }
-                        if q.q.len() >= inner.cfg.max_batch {
-                            break;
-                        }
-                        let dispatch_at = q.q.front().unwrap().submitted + inner.cfg.max_delay;
-                        let now = Instant::now();
-                        if now >= dispatch_at {
-                            break;
-                        }
-                        let (guard, _) = inner
-                            .arrived
-                            .wait_timeout(q, dispatch_at - now)
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
-                        q = guard;
-                    }
+        // The shared scheduler core decides when and what to dispatch;
+        // splits are the one exclusive kind (they dispatch alone).
+        let window = inner.core.next_window(None, Op::kind, |k| *k == Kind::Split);
+        let (batch, expired) = match window {
+            Window::Shutdown { rejected, .. } => {
+                lock(&inner.stats).completed += rejected.len() as u64;
+                for p in rejected {
+                    p.op.fail(ServiceError::ShuttingDown);
                 }
+                // stop_workers joins every worker thread, so all
+                // in-flight read callbacks finish before we return the
+                // shard parts.
+                return stop_workers(router);
             }
-            carve(&mut q.q, inner.cfg.max_batch)
+            Window::Idle => continue,
+            Window::Dispatch { batch, expired } => (batch, expired),
         };
 
         if !expired.is_empty() {
@@ -701,9 +593,7 @@ fn router_loop<S: Semigroup, const D: usize>(
         // Consistency bounds gate reads only (a write observes
         // nothing), judged at dispatch time against the global commit
         // counter, exactly as in the unsharded service.
-        let (batch, unmet): (Vec<_>, Vec<_>) = batch.into_iter().partition(|p| {
-            p.op.kind() != Kind::Read || p.min_seq.is_none_or(|s| s < router.next_seq)
-        });
+        let (batch, unmet) = gate_reads(batch, router.next_seq, |op| op.kind() == Kind::Read);
         if !unmet.is_empty() {
             lock(&inner.stats).completed += unmet.len() as u64;
             for p in unmet {
@@ -757,201 +647,379 @@ fn stop_workers<S: Semigroup, const D: usize>(router: Router<S, D>) -> Vec<Shard
     parts
 }
 
-/// Per-read bookkeeping: where each request's partials live, as
-/// `(shard, index into that shard's per-mode results)`.
-type PartRefs = Vec<(usize, usize)>;
-
-enum RSlot<S: Semigroup> {
-    Count(PartRefs, Resolver<u64>),
-    Agg(PartRefs, Resolver<Option<S::Val>>),
-    Report(PartRefs, Resolver<Vec<u32>>),
-    /// The request's fan-out touched a poisoned shard; it fails without
-    /// reaching any machine.
-    Unavailable(Box<dyn FnOnce(ServiceError) + Send>, String),
+/// A cross-shard read in flight: partials accumulate under `state` as
+/// each touched shard's worker completes its sub-batch; the last arrival
+/// takes the resolver and commits (or fails) the op with its
+/// pre-assigned global sequence number.
+struct CrossOp<V> {
+    seq: u64,
+    submitted: Instant,
+    state: Mutex<CrossState<V>>,
 }
 
-/// Scatter a coalesced read window into at most one fused sub-batch per
-/// shard, gather the partials, and merge them in arrival order under
-/// one global sequence.
+struct CrossState<V> {
+    remaining: usize,
+    acc: V,
+    error: Option<String>,
+    resolver: Option<Resolver<V>>,
+}
+
+impl<V: Default> CrossOp<V> {
+    fn new(
+        fanout: usize,
+        acc: V,
+        resolver: Resolver<V>,
+        submitted: Instant,
+        seq: u64,
+    ) -> Arc<Self> {
+        Arc::new(CrossOp {
+            seq,
+            submitted,
+            state: Mutex::new(CrossState {
+                remaining: fanout,
+                acc,
+                error: None,
+                resolver: Some(resolver),
+            }),
+        })
+    }
+
+    fn settle(mut st: MutexGuard<'_, CrossState<V>>) -> Option<(Resolver<V>, V, Option<String>)> {
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            let r = st.resolver.take().expect("cross-shard op resolved twice");
+            Some((r, std::mem::take(&mut st.acc), st.error.take()))
+        } else {
+            None
+        }
+    }
+
+    /// Fold one shard's partial into the accumulator. Returns the
+    /// resolution duty iff this arrival was the last one.
+    fn fold(&self, fold: impl FnOnce(&mut V)) -> Option<(Resolver<V>, V, Option<String>)> {
+        let mut st = lock(&self.state);
+        if st.error.is_none() {
+            fold(&mut st.acc);
+        }
+        Self::settle(st)
+    }
+
+    /// Record one shard's failure (the first error wins). Returns the
+    /// resolution duty iff this arrival was the last one.
+    fn fail(&self, e: String) -> Option<(Resolver<V>, V, Option<String>)> {
+        let mut st = lock(&self.state);
+        if st.error.is_none() {
+            st.error = Some(e);
+        }
+        Self::settle(st)
+    }
+}
+
+/// Where one query of a shard's fused sub-batch delivers its result: a
+/// single-shard op resolves its ticket directly on the worker thread; a
+/// cross-shard op folds into its shared countdown.
+enum Slot<V> {
+    Solo(Resolver<V>, u64, Instant),
+    Cross(Arc<CrossOp<V>>),
+}
+
+/// One shard's share of a read window: clipped rects per query mode,
+/// with a result slot aligned to each rect.
+struct ShardPlan<S: Semigroup, const D: usize> {
+    counts: Vec<Rect<D>>,
+    count_slots: Vec<Slot<u64>>,
+    aggs: Vec<Rect<D>>,
+    agg_slots: Vec<Slot<Option<S::Val>>>,
+    reports: Vec<Rect<D>>,
+    report_slots: Vec<Slot<Vec<u32>>>,
+}
+
+impl<S: Semigroup, const D: usize> ShardPlan<S, D> {
+    fn empty() -> Self {
+        ShardPlan {
+            counts: Vec::new(),
+            count_slots: Vec::new(),
+            aggs: Vec::new(),
+            agg_slots: Vec::new(),
+            reports: Vec::new(),
+            report_slots: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.counts.len() + self.aggs.len() + self.reports.len()
+    }
+}
+
+/// Window-level read telemetry, shared by every shard callback of one
+/// scattered window: `dispatches` counts *windows* that reached at least
+/// one machine (not sub-batches), and the batch-size histogram records
+/// client queries per window — the same semantics as the single-store
+/// service, so coalescing numbers stay comparable across front-ends.
+/// The first shard to finish with a real run claims the count.
+struct WindowTally {
+    routed: u64,
+    counted: AtomicBool,
+}
+
+/// Plan a coalesced read window into at most one fused sub-batch per
+/// *touched* shard and scatter the sub-batches to the shard workers —
+/// without waiting for any of them. Sequence numbers are pre-assigned
+/// here on the router thread (planning order is the global order);
+/// ticket resolution happens on the worker threads as each shard
+/// finishes, so the router is immediately free to carve the next window.
 fn dispatch_reads<S: Semigroup, const D: usize>(
-    inner: &Inner<S, D>,
+    inner: &Arc<Inner<S, D>>,
     router: &mut Router<S, D>,
-    batch: Vec<Pending<S, D>>,
+    batch: Vec<Pending<Op<S, D>>>,
 ) {
     let shards = router.shards();
-    let mut plans: Vec<(Vec<Rect<D>>, Vec<Rect<D>>, Vec<Rect<D>>)> =
-        vec![(Vec::new(), Vec::new(), Vec::new()); shards];
-    let mut slots: Vec<(RSlot<S>, Instant)> = Vec::with_capacity(batch.len());
+    let mut plans: Vec<ShardPlan<S, D>> = (0..shards).map(|_| ShardPlan::empty()).collect();
+    // Ops settled at planning time (degenerate rects answered locally,
+    // poisoned fan-outs failed) and routing telemetry, accounted in one
+    // stats acquisition below.
+    let mut settled_latency: Vec<u64> = Vec::new();
+    let mut routed_ops = 0u64;
+    let mut shards_touched = 0u64;
 
     for p in batch {
         let Op::Client(op) = p.op else { unreachable!("carve() mixed non-reads into a read run") };
-        let rect = match &op {
-            PlannedOp::Count(q, _) | PlannedOp::Aggregate(q, _) | PlannedOp::Report(q, _) => *q,
-            _ => unreachable!("carve() mixed non-reads into a read run"),
-        };
+        let rect = *op.interval().expect("read run contains a non-read op");
         let fan = router.part.read_fanout(&rect);
+        let n = fan.clone().count();
+        if n == 0 {
+            // Empty rect: answer locally, holding its place in the
+            // global commit order without touching any shard.
+            let seq = router.next_seq;
+            router.next_seq += 1;
+            match op {
+                PlannedOp::Count(_, r) => r.resolve(Ok(Commit { value: 0, seq })),
+                PlannedOp::Aggregate(_, r) => r.resolve(Ok(Commit { value: None, seq })),
+                PlannedOp::Report(_, r) => r.resolve(Ok(Commit { value: Vec::new(), seq })),
+                _ => unreachable!("read run contains a non-read op"),
+            }
+            settled_latency.push(p.submitted.elapsed().as_micros() as u64);
+            continue;
+        }
         if let Some(bad) = fan.clone().find(|&s| router.poisoned[s].is_some()) {
             let reason = router.poisoned[bad].clone().unwrap_or_default();
-            let msg = format!("shard {bad} is poisoned: {reason}");
-            let fail: Box<dyn FnOnce(ServiceError) + Send> = match op {
-                PlannedOp::Count(_, r) => Box::new(move |e| r.resolve(Err(e))),
-                PlannedOp::Aggregate(_, r) => Box::new(move |e| r.resolve(Err(e))),
-                PlannedOp::Report(_, r) => Box::new(move |e| r.resolve(Err(e))),
-                _ => unreachable!(),
-            };
-            slots.push((RSlot::Unavailable(fail, msg), p.submitted));
+            op.fail(ServiceError::Machine(format!("shard {bad} is poisoned: {reason}")));
+            settled_latency.push(p.submitted.elapsed().as_micros() as u64);
             continue;
         }
-        let mut parts: PartRefs = Vec::new();
+        let seq = router.next_seq;
+        router.next_seq += 1;
+        routed_ops += 1;
+        shards_touched += n as u64;
         match op {
             PlannedOp::Count(_, r) => {
-                for s in fan {
-                    plans[s].0.push(router.part.clip(s, &rect));
-                    parts.push((s, plans[s].0.len() - 1));
-                }
-                slots.push((RSlot::Count(parts, r), p.submitted));
-            }
-            PlannedOp::Aggregate(_, r) => {
-                for s in fan {
-                    plans[s].1.push(router.part.clip(s, &rect));
-                    parts.push((s, plans[s].1.len() - 1));
-                }
-                slots.push((RSlot::Agg(parts, r), p.submitted));
-            }
-            PlannedOp::Report(_, r) => {
-                for s in fan {
-                    plans[s].2.push(router.part.clip(s, &rect));
-                    parts.push((s, plans[s].2.len() - 1));
-                }
-                slots.push((RSlot::Report(parts, r), p.submitted));
-            }
-            _ => unreachable!(),
-        }
-    }
-
-    // Scatter: all sub-batches go out before any reply is awaited, so
-    // the shard groups execute concurrently.
-    let (tx, rx) = mpsc::channel::<ReadReply<S>>();
-    let mut sent = 0usize;
-    for (s, (counts, aggs, reports)) in plans.into_iter().enumerate() {
-        if counts.is_empty() && aggs.is_empty() && reports.is_empty() {
-            continue;
-        }
-        let qb = QueryBatch::from_parts(inner.sg, counts, aggs, reports);
-        router.workers[s]
-            .tx
-            .send(ShardJob::Reads { batch: qb, reply: tx.clone() })
-            .expect("shard worker died");
-        sent += 1;
-    }
-    drop(tx);
-
-    // Gather.
-    let mut results: Vec<Option<Result<BatchResults<S>, String>>> =
-        (0..shards).map(|_| None).collect();
-    let mut runs_total = 0u64;
-    for _ in 0..sent {
-        let reply = rx.recv().expect("shard worker dropped a read reply");
-        runs_total += reply.stats.runs as u64;
-        {
-            let mut st = lock(&inner.stats);
-            st.machine.absorb(&reply.stats);
-            st.per_shard[reply.shard].machine.absorb(&reply.stats);
-        }
-        results[reply.shard] = Some(reply.result);
-    }
-
-    // Coalescing telemetry counts only the queries that were actually
-    // planned onto a machine: unroutable slots (poisoned fan-out) and
-    // degenerate rects answered locally would inflate mean_batch_size
-    // and coalescing_factor.
-    let planned: u64 = slots
-        .iter()
-        .map(|(slot, _)| match slot {
-            RSlot::Count(parts, _) | RSlot::Report(parts, _) => !parts.is_empty() as u64,
-            RSlot::Agg(parts, _) => !parts.is_empty() as u64,
-            RSlot::Unavailable(..) => 0,
-        })
-        .sum();
-    {
-        let mut st = lock(&inner.stats);
-        st.completed += slots.len() as u64;
-        if runs_total > 0 {
-            st.dispatches += 1;
-            st.queries_coalesced += planned;
-            st.batch_sizes.record(planned);
-        }
-        for (_, submitted) in &slots {
-            st.latency_us.record(submitted.elapsed().as_micros() as u64);
-        }
-    }
-
-    // Merge in arrival order; commits take global sequence numbers.
-    let part_error =
-        |parts: &PartRefs, results: &[Option<Result<BatchResults<S>, String>>]| -> Option<String> {
-            parts.iter().find_map(|&(s, _)| match &results[s] {
-                Some(Err(e)) => Some(format!("shard {s}: {e}")),
-                _ => None,
-            })
-        };
-    for (slot, _) in slots {
-        match slot {
-            RSlot::Unavailable(fail, msg) => fail(ServiceError::Machine(msg)),
-            RSlot::Count(parts, r) => {
-                if let Some(e) = part_error(&parts, &results) {
-                    r.resolve(Err(ServiceError::Machine(e)));
-                    continue;
-                }
-                let total: u64 = parts
-                    .iter()
-                    .map(|&(s, i)| match &results[s] {
-                        Some(Ok(out)) => out.counts[i],
-                        _ => unreachable!("missing read partial"),
-                    })
-                    .sum();
-                let seq = router.next_seq;
-                router.next_seq += 1;
-                r.resolve(Ok(Commit { value: total, seq }));
-            }
-            RSlot::Agg(parts, r) => {
-                if let Some(e) = part_error(&parts, &results) {
-                    r.resolve(Err(ServiceError::Machine(e)));
-                    continue;
-                }
-                let mut acc: Option<S::Val> = None;
-                for &(s, i) in &parts {
-                    let part = match &mut results[s] {
-                        Some(Ok(out)) => out.aggregates[i].take(),
-                        _ => unreachable!("missing read partial"),
-                    };
-                    acc = comb_opt(&inner.sg, acc, part);
-                }
-                let seq = router.next_seq;
-                router.next_seq += 1;
-                r.resolve(Ok(Commit { value: acc, seq }));
-            }
-            RSlot::Report(parts, r) => {
-                if let Some(e) = part_error(&parts, &results) {
-                    r.resolve(Err(ServiceError::Machine(e)));
-                    continue;
-                }
-                let mut ids: Vec<u32> = Vec::new();
-                for &(s, i) in &parts {
-                    match &mut results[s] {
-                        Some(Ok(out)) => ids.append(&mut out.reports[i]),
-                        _ => unreachable!("missing read partial"),
+                if n == 1 {
+                    let s = *fan.start();
+                    plans[s].counts.push(router.part.clip(s, &rect));
+                    plans[s].count_slots.push(Slot::Solo(r, seq, p.submitted));
+                } else {
+                    let cross = CrossOp::new(n, 0u64, r, p.submitted, seq);
+                    for s in fan {
+                        plans[s].counts.push(router.part.clip(s, &rect));
+                        plans[s].count_slots.push(Slot::Cross(Arc::clone(&cross)));
                     }
                 }
-                // Shards are disjoint, so a sort restores exactly the
-                // unsharded ascending order.
-                ids.sort_unstable();
-                let seq = router.next_seq;
-                router.next_seq += 1;
-                r.resolve(Ok(Commit { value: ids, seq }));
             }
+            PlannedOp::Aggregate(_, r) => {
+                if n == 1 {
+                    let s = *fan.start();
+                    plans[s].aggs.push(router.part.clip(s, &rect));
+                    plans[s].agg_slots.push(Slot::Solo(r, seq, p.submitted));
+                } else {
+                    let cross = CrossOp::new(n, None, r, p.submitted, seq);
+                    for s in fan {
+                        plans[s].aggs.push(router.part.clip(s, &rect));
+                        plans[s].agg_slots.push(Slot::Cross(Arc::clone(&cross)));
+                    }
+                }
+            }
+            PlannedOp::Report(_, r) => {
+                if n == 1 {
+                    let s = *fan.start();
+                    plans[s].reports.push(router.part.clip(s, &rect));
+                    plans[s].report_slots.push(Slot::Solo(r, seq, p.submitted));
+                } else {
+                    let cross = CrossOp::new(n, Vec::new(), r, p.submitted, seq);
+                    for s in fan {
+                        plans[s].reports.push(router.part.clip(s, &rect));
+                        plans[s].report_slots.push(Slot::Cross(Arc::clone(&cross)));
+                    }
+                }
+            }
+            _ => unreachable!("read run contains a non-read op"),
         }
     }
-    router.publish(inner);
+
+    {
+        let mut st = lock(&inner.stats);
+        st.read_ops_routed += routed_ops;
+        st.read_shards_touched += shards_touched;
+        st.completed += settled_latency.len() as u64;
+        for l in settled_latency {
+            st.latency_us.record(l);
+        }
+    }
+
+    // Scatter every touched shard's sub-batch; the workers run them
+    // concurrently and resolve the tickets themselves.
+    let tally = Arc::new(WindowTally { routed: routed_ops, counted: AtomicBool::new(false) });
+    for (s, plan) in plans.into_iter().enumerate() {
+        if plan.len() == 0 {
+            continue;
+        }
+        let ShardPlan { counts, count_slots, aggs, agg_slots, reports, report_slots } = plan;
+        let qb = QueryBatch::from_parts(inner.sg, counts, aggs, reports);
+        let cb_inner = Arc::clone(inner);
+        let cb_tally = Arc::clone(&tally);
+        let complete: ReadComplete<S> = Box::new(move |result, run_stats| {
+            finish_shard_reads(
+                &cb_inner,
+                s,
+                result,
+                run_stats,
+                count_slots,
+                agg_slots,
+                report_slots,
+                &cb_tally,
+            );
+        });
+        router.workers[s]
+            .tx
+            .send(ShardJob::Reads { batch: qb, complete })
+            .expect("shard worker died");
+    }
+}
+
+/// Worker-thread completion of one shard's fused read sub-batch: absorb
+/// the run's stats, resolve single-shard tickets directly, and fold
+/// cross-shard partials into their shared countdowns (the last shard to
+/// arrive resolves). Counters are bumped under the stats lock *before*
+/// each resolution so a client that has observed its response also
+/// observes it as completed in any telemetry snapshot.
+#[allow(clippy::too_many_arguments)]
+fn finish_shard_reads<S: Semigroup, const D: usize>(
+    inner: &Inner<S, D>,
+    shard: usize,
+    result: Result<BatchResults<S>, String>,
+    run_stats: RunStats,
+    count_slots: Vec<Slot<u64>>,
+    agg_slots: Vec<Slot<Option<S::Val>>>,
+    report_slots: Vec<Slot<Vec<u32>>>,
+    tally: &WindowTally,
+) {
+    let sg = inner.sg;
+    let mut st = lock(&inner.stats);
+    st.machine.absorb(&run_stats);
+    st.per_shard[shard].machine.absorb(&run_stats);
+    if run_stats.runs > 0 && !tally.counted.swap(true, Ordering::Relaxed) {
+        st.dispatches += 1;
+        st.queries_coalesced += tally.routed;
+        st.batch_sizes.record(tally.routed);
+    }
+    // Account one op as completed (and record its latency) exactly when
+    // its ticket resolves here — i.e. for every solo slot, and for a
+    // cross slot only on its final arrival.
+    macro_rules! done {
+        ($submitted:expr) => {
+            st.completed += 1;
+            st.latency_us.record($submitted.elapsed().as_micros() as u64);
+        };
+    }
+    match result {
+        Ok(out) => {
+            let BatchResults { counts, aggregates, reports } = out;
+            for (part, slot) in counts.into_iter().zip(count_slots) {
+                match slot {
+                    Slot::Solo(r, seq, t0) => {
+                        done!(t0);
+                        r.resolve(Ok(Commit { value: part, seq }));
+                    }
+                    Slot::Cross(cross) => {
+                        if let Some((r, acc, err)) = cross.fold(|acc| *acc += part) {
+                            done!(cross.submitted);
+                            match err {
+                                None => r.resolve(Ok(Commit { value: acc, seq: cross.seq })),
+                                Some(e) => r.resolve(Err(ServiceError::Machine(e))),
+                            }
+                        }
+                    }
+                }
+            }
+            for (part, slot) in aggregates.into_iter().zip(agg_slots) {
+                match slot {
+                    Slot::Solo(r, seq, t0) => {
+                        done!(t0);
+                        r.resolve(Ok(Commit { value: part, seq }));
+                    }
+                    Slot::Cross(cross) => {
+                        let fold =
+                            |acc: &mut Option<S::Val>| *acc = comb_opt(&sg, acc.take(), part);
+                        if let Some((r, acc, err)) = cross.fold(fold) {
+                            done!(cross.submitted);
+                            match err {
+                                None => r.resolve(Ok(Commit { value: acc, seq: cross.seq })),
+                                Some(e) => r.resolve(Err(ServiceError::Machine(e))),
+                            }
+                        }
+                    }
+                }
+            }
+            for (part, slot) in reports.into_iter().zip(report_slots) {
+                match slot {
+                    Slot::Solo(r, seq, t0) => {
+                        done!(t0);
+                        r.resolve(Ok(Commit { value: part, seq }));
+                    }
+                    Slot::Cross(cross) => {
+                        if let Some((r, mut acc, err)) = cross.fold(|acc| acc.extend(part)) {
+                            done!(cross.submitted);
+                            match err {
+                                None => {
+                                    // Shards are disjoint, so a sort
+                                    // restores exactly the unsharded
+                                    // ascending order.
+                                    acc.sort_unstable();
+                                    r.resolve(Ok(Commit { value: acc, seq: cross.seq }));
+                                }
+                                Some(e) => r.resolve(Err(ServiceError::Machine(e))),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            let msg = format!("shard {shard}: {e}");
+            macro_rules! fail_slots {
+                ($slots:expr) => {
+                    for slot in $slots {
+                        match slot {
+                            Slot::Solo(r, _, t0) => {
+                                done!(t0);
+                                r.resolve(Err(ServiceError::Machine(msg.clone())));
+                            }
+                            Slot::Cross(cross) => {
+                                if let Some((r, _, err)) = cross.fail(msg.clone()) {
+                                    done!(cross.submitted);
+                                    r.resolve(Err(ServiceError::Machine(
+                                        err.expect("failed cross op without an error"),
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                };
+            }
+            fail_slots!(count_slots);
+            fail_slots!(agg_slots);
+            fail_slots!(report_slots);
+        }
+    }
 }
 
 /// Per-request validation verdict inside a write epoch.
@@ -970,7 +1038,7 @@ enum Verdict {
 fn dispatch_write_epoch<S: Semigroup, const D: usize>(
     inner: &Inner<S, D>,
     router: &mut Router<S, D>,
-    batch: Vec<Pending<S, D>>,
+    batch: Vec<Pending<Op<S, D>>>,
 ) {
     // Epoch delta: Some((pt, shard)) = live, inserted this epoch at
     // `shard`; None = dead. Ids absent defer to the ownership index.
@@ -1136,7 +1204,9 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
         replies[reply.shard] = Some(reply.result);
     }
     if runs_total > 0 {
-        lock(&inner.stats).write_epochs += 1;
+        let mut st = lock(&inner.stats);
+        st.write_epochs += 1;
+        st.write_shards_touched += involved.len() as u64;
     }
     record_latency(inner, &outcomes);
 

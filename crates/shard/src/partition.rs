@@ -2,12 +2,14 @@
 //! groups a range query must visit.
 //!
 //! Two placement policies are offered. **Hash** spreads inserts uniformly
-//! by a mix of the record id — perfectly balanced under any id pattern,
-//! but every range query must visit every shard (ids carry no spatial
-//! information). **Range** slices the first coordinate axis into `S`
-//! contiguous slabs — a range query visits only the slabs its first-axis
-//! interval overlaps, and the router clips each sub-query to the slab so
-//! shard answers are disjoint by construction.
+//! by a mix of the point's coordinates — balanced under any workload, and
+//! a *point lookup* (a query whose interval is a single coordinate) can
+//! recompute the mix and visit exactly one shard. Hashing destroys
+//! locality, though, so any wider interval must still visit every shard.
+//! **Range** slices the first coordinate axis into `S` contiguous slabs —
+//! a range query visits only the slabs its first-axis interval overlaps,
+//! and the router clips each sub-query to the slab so shard answers are
+//! disjoint by construction.
 //!
 //! The policy decides *placement of new points* and *read fan-out*; the
 //! authoritative record of where a live id resides is the router's
@@ -18,8 +20,9 @@ use ddrs_rangetree::{Point, Rect};
 /// How the id/key domain is divided across shard groups.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PartitionPolicy {
-    /// Place by a mix of the record id. Balanced placement, all-shard
-    /// read fan-out.
+    /// Place by a mix of the point's coordinates. Balanced placement;
+    /// single-shard fan-out for degenerate (point) queries, all-shard
+    /// fan-out for everything wider.
     Hash,
     /// Place by the first coordinate: shard `i` owns the slab
     /// `[bounds[i-1], bounds[i])` of axis 0 (with implicit `-∞` and
@@ -65,12 +68,19 @@ impl PartitionPolicy {
     }
 }
 
-/// Deterministic 64-bit mix (splitmix64 finalizer) for hash placement.
-fn mix(id: u32) -> u64 {
-    let mut z = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+/// Deterministic 64-bit mix (splitmix64 finalizer).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Hash-placement key: a splitmix64 chain over all coordinates. Keying
+/// by coordinates (not id) is what lets a degenerate query recompute the
+/// placement of the only coordinate it can match and route to one shard.
+fn mix_coords<const D: usize>(coords: &[i64; D]) -> u64 {
+    coords.iter().fold(0u64, |h, &c| mix(h ^ c as u64))
 }
 
 /// The router's live view of the partition: the policy plus the mutable
@@ -100,13 +110,18 @@ impl Partitioner {
     /// Placement shard for a new point.
     pub(crate) fn place<const D: usize>(&self, p: &Point<D>) -> usize {
         match self {
-            Partitioner::Hash { shards } => (mix(p.id) % *shards as u64) as usize,
+            Partitioner::Hash { shards } => (mix_coords(&p.coords) % *shards as u64) as usize,
             Partitioner::Range { bounds } => bounds.partition_point(|b| *b <= p.coords[0]),
         }
     }
 
-    /// The inclusive shard interval a query's axis-0 extent overlaps.
+    /// The inclusive shard interval a query's extent overlaps.
     /// Empty rects fan out to no shard (the router answers them locally).
+    /// Under hash placement a *degenerate* query (one coordinate on every
+    /// axis) recomputes the placement mix and visits exactly one shard;
+    /// any wider interval must still visit all shards, because coordinate
+    /// hashing destroys locality. Under the range policy the fan-out is
+    /// the slabs the axis-0 interval overlaps.
     pub(crate) fn read_fanout<const D: usize>(
         &self,
         q: &Rect<D>,
@@ -118,7 +133,14 @@ impl Partitioner {
             return 1..=0;
         }
         match self {
-            Partitioner::Hash { shards } => 0..=shards - 1,
+            Partitioner::Hash { shards } => {
+                if q.lo == q.hi {
+                    let s = (mix_coords(&q.lo) % *shards as u64) as usize;
+                    s..=s
+                } else {
+                    0..=shards - 1
+                }
+            }
             Partitioner::Range { bounds } => {
                 let lo = bounds.partition_point(|b| *b <= q.lo[0]);
                 let hi = bounds.partition_point(|b| *b <= q.hi[0]);
@@ -192,12 +214,19 @@ mod tests {
     }
 
     #[test]
-    fn hash_fans_out_everywhere_and_spreads_placement() {
+    fn hash_routes_point_queries_and_spreads_placement() {
         let part = Partitioner::new(PartitionPolicy::Hash, 4);
+        // Any interval wider than a point still fans out everywhere…
         assert_eq!(part.read_fanout(&Rect::<2>::new([0, 0], [1, 1])), 0..=3);
+        // …but a degenerate query routes to exactly the shard that
+        // placement chose for its coordinate.
         let mut counts = [0usize; 4];
-        for id in 0..4000 {
-            counts[part.place(&Point::<2>::new([0, 0], id))] += 1;
+        for i in 0..4000i64 {
+            let p = Point::<2>::new([i * 193 % 7777, i * 71 % 555], i as u32);
+            let home = part.place(&p);
+            counts[home] += 1;
+            let lookup = part.read_fanout(&Rect::new(p.coords, p.coords));
+            assert_eq!(lookup, home..=home, "point lookup must land on the placement shard");
         }
         for c in counts {
             assert!((800..1200).contains(&c), "hash placement badly skewed: {counts:?}");

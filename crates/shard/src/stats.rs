@@ -37,6 +37,17 @@ pub struct ShardedStats {
     pub write_epochs: u64,
     /// Read queries answered through coalesced dispatches.
     pub queries_coalesced: u64,
+    /// Read ops that were routed to at least one shard (excludes empty
+    /// rects answered locally and ops failed at planning).
+    pub read_ops_routed: u64,
+    /// Total shards those routed reads were enqueued on. The quotient
+    /// [`mean_read_fanout`](Self::mean_read_fanout) is the routing
+    /// minimality of the workload: 1.0 means every read touched exactly
+    /// one shard.
+    pub read_shards_touched: u64,
+    /// Total shards touched by write epochs (one sub-epoch per counted
+    /// shard), across all epochs that reached a machine.
+    pub write_shards_touched: u64,
     /// Completed shard-split migrations (explicit and skew-triggered).
     pub rebalances: u64,
     /// Points moved between shard groups by those migrations.
@@ -69,6 +80,17 @@ impl ShardedStats {
             0.0
         } else {
             self.queries_coalesced as f64 / self.machine.runs as f64
+        }
+    }
+
+    /// Mean shards touched per routed read op (0 before any routed
+    /// read). 1.0 = perfectly minimal routing; `S` = everything fans
+    /// out everywhere.
+    pub fn mean_read_fanout(&self) -> f64 {
+        if self.read_ops_routed == 0 {
+            0.0
+        } else {
+            self.read_shards_touched as f64 / self.read_ops_routed as f64
         }
     }
 

@@ -17,11 +17,20 @@ use ddrs_cgm::{panic_message, CgmError, Machine, RunStats};
 use ddrs_engine::{BatchResults, QueryBatch};
 use ddrs_rangetree::{DynamicDistRangeTree, Point, Semigroup};
 
+/// What a read sub-batch does with its outcome: invoked on the worker
+/// thread with the fused results (or the failure) and the run's stats.
+/// The router builds these to resolve tickets and account telemetry
+/// without ever blocking on the read — reads gather asynchronously,
+/// while writes and splits keep their synchronous reply channels
+/// (the router *must* barrier on those to order the epoch protocol).
+pub(crate) type ReadComplete<S> = Box<dyn FnOnce(Result<BatchResults<S>, String>, RunStats) + Send>;
+
 /// One planned unit of work for a shard group.
 pub(crate) enum ShardJob<S: Semigroup, const D: usize> {
     /// Execute a fused read sub-batch: exactly one `Machine::run` (zero
-    /// when the sub-batch or the shard's store is empty).
-    Reads { batch: QueryBatch<S, D>, reply: mpsc::Sender<ReadReply<S>> },
+    /// when the sub-batch or the shard's store is empty), then hand the
+    /// outcome to `complete` on this worker thread.
+    Reads { batch: QueryBatch<S, D>, complete: ReadComplete<S> },
     /// Apply one write sub-epoch: extract `deletes` (returning the
     /// removed points so the router can roll the epoch back on sibling
     /// failure), then insert `inserts`. `inject_fault` makes a simulated
@@ -39,12 +48,6 @@ pub(crate) enum ShardJob<S: Semigroup, const D: usize> {
     SplitHalf { upper: bool, reply: mpsc::Sender<SplitReply<D>> },
     /// Hand the machine and store back and exit the thread.
     Stop { reply: mpsc::Sender<(Machine, DynamicDistRangeTree<D>)> },
-}
-
-pub(crate) struct ReadReply<S: Semigroup> {
-    pub shard: usize,
-    pub result: Result<BatchResults<S>, String>,
-    pub stats: RunStats,
 }
 
 pub(crate) struct WriteReply<const D: usize> {
@@ -102,7 +105,7 @@ fn worker_loop<S: Semigroup, const D: usize>(
     machine.take_stats();
     while let Ok(job) = rx.recv() {
         match job {
-            ShardJob::Reads { batch, reply } => {
+            ShardJob::Reads { batch, complete } => {
                 let outcome =
                     catch_unwind(AssertUnwindSafe(|| batch.try_execute_dynamic(&machine, &tree)));
                 let stats = machine.take_stats();
@@ -111,7 +114,7 @@ fn worker_loop<S: Semigroup, const D: usize>(
                     Ok(Err(e)) => Err(cgm_error_string(&e)),
                     Err(payload) => Err(panic_message(&*payload)),
                 };
-                let _ = reply.send(ReadReply { shard, result, stats });
+                complete(result, stats);
             }
             ShardJob::Write { deletes, inserts, inject_fault, reply } => {
                 let outcome =

@@ -99,6 +99,16 @@ fn main() {
     println!("  read dispatches   {}", stats.dispatches);
     println!("  write epochs      {}", stats.write_epochs);
     println!("  machine runs      {} across {} shards", stats.machine.runs, shards);
+    println!(
+        "  runs per shard    {:?}",
+        stats.per_shard.iter().map(|s| s.machine.runs).collect::<Vec<_>>()
+    );
+    println!(
+        "  shards touched    {} across {} routed reads ({:.2} mean fanout)",
+        stats.read_shards_touched,
+        stats.read_ops_routed,
+        stats.mean_read_fanout()
+    );
     println!("  queries/run       {:.1}", stats.coalescing_factor());
     println!("  p50 / p99 latency {} / {} µs", stats.p50_latency_us(), stats.p99_latency_us());
 

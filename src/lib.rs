@@ -62,6 +62,7 @@ pub use ddrs_cgm as cgm;
 pub use ddrs_client as client;
 pub use ddrs_engine as engine;
 pub use ddrs_rangetree as rangetree;
+pub use ddrs_sched as sched;
 pub use ddrs_service as service;
 pub use ddrs_shard as shard;
 pub use ddrs_workloads as workloads;

@@ -233,6 +233,92 @@ fn reads_fail_without_poisoning_on_write_fault_elsewhere() {
     assert_eq!(parts[0].tree.len(), 21);
 }
 
+/// The concurrency variant of the flagship test: the failing epoch is
+/// submitted while eight reader threads hammer all three slabs with
+/// concurrent windows. The write barrier must still abort the epoch
+/// atomically — shard 0's sub-epoch rolled back, shard 1 quarantined —
+/// and every read that *succeeded* must have observed either the intact
+/// pre-epoch state (the epoch never commits, so there is no post-state),
+/// no matter how its window interleaved with the epoch.
+#[test]
+fn mid_epoch_fault_amid_concurrent_reads_rolls_back_atomically() {
+    let service = start(ShardedConfig {
+        max_batch: 8,
+        max_delay: Duration::from_micros(200),
+        ..Default::default()
+    });
+    service.fail_next_write_epoch(1);
+
+    let writer_done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Readers: point the three slab rects plus the full box, from
+        // eight threads, while the epoch fails in the middle of it all.
+        for t in 0..8u32 {
+            let service = &service;
+            let writer_done = &writer_done;
+            s.spawn(move || {
+                let rects =
+                    [slab_rect(0), slab_rect(1), slab_rect(2), Rect::new([0, 0], [800, 600])];
+                let mut i = t;
+                // Keep reading until the writer has settled, then once more.
+                loop {
+                    let finished = writer_done.load(std::sync::atomic::Ordering::Relaxed);
+                    let q = rects[(i % 4) as usize];
+                    i += 1;
+                    match service.count(q).unwrap().wait() {
+                        Ok(c) => {
+                            // The epoch aborts, so the store never leaves
+                            // its initial state: any successful count sees
+                            // exactly the initial occupancy of its rect.
+                            let want = if q == rects[3] { 60 } else { 20 };
+                            assert_eq!(c.value, want, "read observed a half-applied epoch");
+                        }
+                        Err(ServiceError::Machine(msg)) => {
+                            // Reads planned after the quarantine (or raced
+                            // against it) fail loudly; never wrongly.
+                            assert!(msg.contains("poisoned"), "unexpected read error: {msg}");
+                        }
+                        Err(other) => panic!("unexpected read error: {other:?}"),
+                    }
+                    if finished {
+                        break;
+                    }
+                }
+            });
+        }
+        // The writer: one epoch spanning shard 0 (healthy) and shard 1
+        // (armed), submitted mid-storm.
+        let service = &service;
+        let writer_done = &writer_done;
+        s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            // Both writes touch the armed shard 1, so they abort whether
+            // they coalesce into one epoch or land in two: the first
+            // epoch trips the fault, a straggler hits the quarantine.
+            let t_del = service.delete(vec![0, 20]).unwrap(); // shards 0 + 1
+            let t_ins = service.insert(vec![Point::weighted([150, 50], 1001, 2)]).unwrap();
+            let e = t_del.wait().unwrap_err();
+            assert!(matches!(e, ServiceError::Machine(_)), "epoch must abort: {e:?}");
+            assert!(t_ins.wait().is_err(), "no write touching the armed shard may commit");
+            writer_done.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    });
+
+    // Post-mortem: exactly shard 1 is poisoned, and the healthy shards
+    // hold exactly their initial points — the rollback survived the
+    // concurrent read storm.
+    let stats = service.stats();
+    assert!(stats.per_shard[1].poisoned.as_deref().unwrap_or("").contains("ProcessorPanicked"));
+    assert!(stats.per_shard[0].poisoned.is_none());
+    assert!(stats.per_shard[2].poisoned.is_none());
+    assert_eq!(service.count(slab_rect(0)).unwrap().wait().unwrap().value, 20);
+    assert_eq!(service.count(slab_rect(2)).unwrap().wait().unwrap().value, 20);
+    let parts = service.dismantle();
+    assert_eq!(parts[0].tree.len(), 20, "shard 0 sub-epoch must be rolled back");
+    assert!(parts[0].tree.contains_id(0), "deleted id 0 must be restored");
+    assert_eq!(parts[2].tree.len(), 20);
+}
+
 /// The fault hook only fires when an epoch actually reaches the armed
 /// shard: epochs routed elsewhere are unaffected, and the flag stays
 /// armed until consumed.

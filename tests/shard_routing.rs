@@ -1,0 +1,198 @@
+//! Routing-minimality regression pins for the shard-aware dispatch
+//! pipeline: the router must enqueue work on exactly the shards that can
+//! hold matching points, and nothing else.
+//!
+//! * a hash-policy *point* lookup (degenerate interval) recomputes the
+//!   placement mix and touches exactly ONE shard,
+//! * key-routed writes touch exactly the owning shards,
+//! * a range-policy query spanning two of four slabs touches exactly
+//!   those two, and
+//! * a mixed cross-shard read window costs at most one fused run per
+//!   *touched* shard — untouched shards run nothing.
+//!
+//! The only surviving full fan-out is a genuinely unbounded hash-policy
+//! range scan (coordinate hashing destroys locality), pinned last so a
+//! future change that silently re-widens routing fails here.
+
+use std::time::Duration;
+
+use ddrs::prelude::*;
+
+fn machines(s: usize, p: usize) -> Vec<Machine> {
+    (0..s).map(|_| Machine::new(p).unwrap()).collect()
+}
+
+fn pts(range: std::ops::Range<u32>) -> Vec<Point<2>> {
+    range
+        .map(|i| {
+            Point::weighted(
+                [((i * 193) % 777) as i64, ((i * 71) % 555) as i64],
+                i,
+                1 + i as u64 % 5,
+            )
+        })
+        .collect()
+}
+
+fn quick(policy: PartitionPolicy) -> ShardedService<Sum, 2> {
+    ShardedService::start(
+        machines(4, 1),
+        16,
+        &pts(0..64),
+        Sum,
+        policy,
+        ShardedConfig { max_delay: Duration::from_micros(100), ..Default::default() },
+    )
+    .unwrap()
+}
+
+/// Shards-touched deltas around one operation, via the routing counters.
+fn fanout_of(service: &ShardedService<Sum, 2>, op: impl FnOnce()) -> (u64, u64) {
+    let before = service.stats();
+    op();
+    let after = service.stats();
+    (
+        after.read_ops_routed - before.read_ops_routed,
+        after.read_shards_touched - before.read_shards_touched,
+    )
+}
+
+#[test]
+fn hash_point_ops_touch_exactly_one_shard() {
+    let service = quick(PartitionPolicy::Hash);
+    // Point lookups at live coordinates, across all three read modes.
+    for i in [0u32, 17, 40] {
+        let at = [((i * 193) % 777) as i64, ((i * 71) % 555) as i64];
+        let q = Rect::new(at, at);
+        let (routed, touched) = fanout_of(&service, || {
+            assert_eq!(service.count(q).unwrap().wait().unwrap().value, 1);
+        });
+        assert_eq!((routed, touched), (1, 1), "hash point count must route to one shard");
+        let (routed, touched) = fanout_of(&service, || {
+            assert_eq!(service.report(q).unwrap().wait().unwrap().value, vec![i]);
+        });
+        assert_eq!((routed, touched), (1, 1), "hash point report must route to one shard");
+    }
+    // A lookup at a vacant coordinate still routes to exactly the one
+    // shard that *would* own it.
+    let vacant = Rect::new([5000, 5000], [5000, 5000]);
+    let (routed, touched) = fanout_of(&service, || {
+        assert_eq!(service.count(vacant).unwrap().wait().unwrap().value, 0);
+    });
+    assert_eq!((routed, touched), (1, 1));
+    assert_eq!(service.stats().mean_read_fanout(), 1.0, "a point-only workload is fanout-1");
+    service.shutdown();
+}
+
+#[test]
+fn hash_writes_route_to_owning_shards_only() {
+    let service = quick(PartitionPolicy::Hash);
+    let before = service.stats();
+    // One point = one owning shard = a single-shard epoch.
+    service.insert(vec![Point::weighted([900, 900], 5000, 1)]).unwrap().wait().unwrap();
+    let mid = service.stats();
+    assert_eq!(mid.write_epochs - before.write_epochs, 1);
+    assert_eq!(
+        mid.write_shards_touched - before.write_shards_touched,
+        1,
+        "a one-point insert must touch exactly its owning shard"
+    );
+    // Deleting that key routes through the ownership index to the same
+    // single shard.
+    service.delete(vec![5000]).unwrap().wait().unwrap();
+    let after = service.stats();
+    assert_eq!(after.write_shards_touched - mid.write_shards_touched, 1);
+    service.shutdown();
+}
+
+#[test]
+fn range_query_spanning_two_of_four_slabs_touches_two() {
+    // Four explicit slabs on axis 0: [−∞,100) [100,200) [200,300) [300,∞).
+    let service = ShardedService::start(
+        machines(4, 1),
+        16,
+        &(0..80u32)
+            .map(|i| Point::weighted([(i as i64 % 8) * 50, (i / 8) as i64], i, 1))
+            .collect::<Vec<_>>(),
+        Sum,
+        PartitionPolicy::Range { bounds: vec![100, 200, 300] },
+        ShardedConfig { max_delay: Duration::from_micros(100), ..Default::default() },
+    )
+    .unwrap();
+    let spans = [
+        (Rect::new([0, 0], [99, 99]), 1u64), // slab 0 only
+        (Rect::new([120, 0], [250, 99]), 2), // slabs 1–2
+        (Rect::new([0, 0], [399, 99]), 4),   // all four
+        (Rect::new([310, 0], [900, 99]), 1), // slab 3 only
+    ];
+    for (q, want) in spans {
+        let (routed, touched) = fanout_of(&service, || {
+            service.count(q).unwrap().wait().unwrap();
+        });
+        assert_eq!(routed, 1);
+        assert_eq!(touched, want, "range query {q:?} must touch exactly {want} slab(s)");
+    }
+    service.shutdown();
+}
+
+/// One mixed window of counts, aggregates and reports spanning several
+/// slabs plans into AT MOST one fused sub-batch — hence at most one
+/// machine run — per touched shard, and zero on untouched shards,
+/// verified through the per-shard RunStats rollups.
+#[test]
+fn mixed_cross_shard_window_runs_once_per_touched_shard() {
+    let service = ShardedService::start(
+        machines(4, 1),
+        16,
+        &(0..80u32)
+            .map(|i| Point::weighted([(i as i64 % 8) * 50, (i / 8) as i64], i, 1))
+            .collect::<Vec<_>>(),
+        Sum,
+        PartitionPolicy::Range { bounds: vec![100, 200, 300] },
+        // A wide delay coalesces the whole request list into one window.
+        ShardedConfig { max_batch: 9, max_delay: Duration::from_secs(2), ..Default::default() },
+    )
+    .unwrap();
+    let before = service.stats();
+    // 9 reads, all confined to slabs 0–1: shard 2 and 3 must stay idle.
+    let low = Rect::new([0, 0], [199, 99]);
+    let lower = Rect::new([0, 0], [99, 99]);
+    let mut req = Request::new();
+    let mut counts = Vec::new();
+    let mut aggs = Vec::new();
+    let mut reps = Vec::new();
+    for _ in 0..3 {
+        counts.push(req.count(low));
+        aggs.push(req.aggregate(lower));
+        reps.push(req.report(lower));
+    }
+    let resp = service.submit(req).unwrap().wait().unwrap().value;
+    assert_eq!(resp.count(counts[0]), 40);
+    let after = service.stats();
+    for shard in 0..2 {
+        let runs = after.per_shard[shard].machine.runs - before.per_shard[shard].machine.runs;
+        assert_eq!(runs, 1, "touched shard {shard} must execute exactly one fused run");
+    }
+    for shard in 2..4 {
+        let runs = after.per_shard[shard].machine.runs - before.per_shard[shard].machine.runs;
+        assert_eq!(runs, 0, "untouched shard {shard} must not run at all");
+    }
+    assert_eq!(after.dispatches - before.dispatches, 1, "one window, one dispatch");
+    assert_eq!(after.read_shards_touched - before.read_shards_touched, 3 * 2 + 6);
+    service.shutdown();
+}
+
+/// The documented surviving fan-out: a hash-policy range scan wider than
+/// a point cannot be narrowed (hashing destroys locality) and must visit
+/// every shard — pinned so the boundary of the optimisation is explicit.
+#[test]
+fn unbounded_hash_scan_still_fans_out_everywhere() {
+    let service = quick(PartitionPolicy::Hash);
+    let wide = Rect::new([0, 0], [800, 600]);
+    let (routed, touched) = fanout_of(&service, || {
+        assert_eq!(service.count(wide).unwrap().wait().unwrap().value, 64);
+    });
+    assert_eq!(routed, 1);
+    assert_eq!(touched, 4, "a non-degenerate hash-policy scan must visit all shards");
+    service.shutdown();
+}
