@@ -80,7 +80,12 @@
 //! requests commit before or after the migration, never astride it. A
 //! skew trigger ([`ShardedConfig::rebalance_factor`]) runs the same
 //! migration automatically after a write epoch leaves a shard holding
-//! more than `factor ×` the mean.
+//! more than `factor ×` the mean. Under hash placement a migration
+//! breaks the coordinate-mix residency invariant, so from the first
+//! hash-policy split onward degenerate point *reads* stop routing to a
+//! single shard and fan out fully — correctness over routing
+//! minimality; key-routed deletes still hit one shard via the ownership
+//! index.
 //!
 //! ## Example
 //!
@@ -376,7 +381,11 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
     /// so no in-flight request observes a half-migrated store. Resolves
     /// with the migration report, or [`ServiceError::Machine`] if the
     /// split is impossible (single-point shard, all points sharing one
-    /// coordinate, no healthy sibling).
+    /// coordinate, no healthy sibling). Under [`PartitionPolicy::Hash`]
+    /// the migrated points no longer live where the placement mix says,
+    /// so the first split permanently widens degenerate point reads from
+    /// single-shard routing to full fan-out (answers stay exact; only
+    /// the routing minimality is given up).
     pub fn split_shard(&self, donor: usize) -> Result<Ticket<SplitReport>, SubmitError> {
         assert!(donor < self.shards, "split_shard: no shard {donor}");
         let (t, r) = ticket();
@@ -898,9 +907,14 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
 /// Worker-thread completion of one shard's fused read sub-batch: absorb
 /// the run's stats, resolve single-shard tickets directly, and fold
 /// cross-shard partials into their shared countdowns (the last shard to
-/// arrive resolves). Counters are bumped under the stats lock *before*
-/// each resolution so a client that has observed its response also
-/// observes it as completed in any telemetry snapshot.
+/// arrive resolves). Stats mutation and partial-folding happen in one
+/// critical section — so a final cross arrival always observes every
+/// earlier shard's run already absorbed, and counters are bumped
+/// *before* each resolution (a client that has observed its response
+/// also observes it as completed in any telemetry snapshot) — but the
+/// resolutions themselves are deferred until the guard is dropped:
+/// client wakeups must not serialize other shards' read completions on
+/// the global stats mutex under high fan-in.
 #[allow(clippy::too_many_arguments)]
 fn finish_shard_reads<S: Semigroup, const D: usize>(
     inner: &Inner<S, D>,
@@ -913,6 +927,9 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
     tally: &WindowTally,
 ) {
     let sg = inner.sg;
+    // Ticket resolutions decided in the critical section below, run
+    // after it ends.
+    let mut resolutions: Vec<Box<dyn FnOnce()>> = Vec::new();
     let mut st = lock(&inner.stats);
     st.machine.absorb(&run_stats);
     st.per_shard[shard].machine.absorb(&run_stats);
@@ -922,8 +939,8 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
         st.batch_sizes.record(tally.routed);
     }
     // Account one op as completed (and record its latency) exactly when
-    // its ticket resolves here — i.e. for every solo slot, and for a
-    // cross slot only on its final arrival.
+    // its ticket's resolution is decided here — i.e. for every solo
+    // slot, and for a cross slot only on its final arrival.
     macro_rules! done {
         ($submitted:expr) => {
             st.completed += 1;
@@ -937,15 +954,18 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
                 match slot {
                     Slot::Solo(r, seq, t0) => {
                         done!(t0);
-                        r.resolve(Ok(Commit { value: part, seq }));
+                        resolutions.push(Box::new(move || {
+                            r.resolve(Ok(Commit { value: part, seq }));
+                        }));
                     }
                     Slot::Cross(cross) => {
                         if let Some((r, acc, err)) = cross.fold(|acc| *acc += part) {
                             done!(cross.submitted);
-                            match err {
-                                None => r.resolve(Ok(Commit { value: acc, seq: cross.seq })),
+                            let seq = cross.seq;
+                            resolutions.push(Box::new(move || match err {
+                                None => r.resolve(Ok(Commit { value: acc, seq })),
                                 Some(e) => r.resolve(Err(ServiceError::Machine(e))),
-                            }
+                            }));
                         }
                     }
                 }
@@ -954,17 +974,20 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
                 match slot {
                     Slot::Solo(r, seq, t0) => {
                         done!(t0);
-                        r.resolve(Ok(Commit { value: part, seq }));
+                        resolutions.push(Box::new(move || {
+                            r.resolve(Ok(Commit { value: part, seq }));
+                        }));
                     }
                     Slot::Cross(cross) => {
                         let fold =
                             |acc: &mut Option<S::Val>| *acc = comb_opt(&sg, acc.take(), part);
                         if let Some((r, acc, err)) = cross.fold(fold) {
                             done!(cross.submitted);
-                            match err {
-                                None => r.resolve(Ok(Commit { value: acc, seq: cross.seq })),
+                            let seq = cross.seq;
+                            resolutions.push(Box::new(move || match err {
+                                None => r.resolve(Ok(Commit { value: acc, seq })),
                                 Some(e) => r.resolve(Err(ServiceError::Machine(e))),
-                            }
+                            }));
                         }
                     }
                 }
@@ -973,21 +996,24 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
                 match slot {
                     Slot::Solo(r, seq, t0) => {
                         done!(t0);
-                        r.resolve(Ok(Commit { value: part, seq }));
+                        resolutions.push(Box::new(move || {
+                            r.resolve(Ok(Commit { value: part, seq }));
+                        }));
                     }
                     Slot::Cross(cross) => {
                         if let Some((r, mut acc, err)) = cross.fold(|acc| acc.extend(part)) {
                             done!(cross.submitted);
-                            match err {
+                            let seq = cross.seq;
+                            resolutions.push(Box::new(move || match err {
                                 None => {
                                     // Shards are disjoint, so a sort
                                     // restores exactly the unsharded
                                     // ascending order.
                                     acc.sort_unstable();
-                                    r.resolve(Ok(Commit { value: acc, seq: cross.seq }));
+                                    r.resolve(Ok(Commit { value: acc, seq }));
                                 }
                                 Some(e) => r.resolve(Err(ServiceError::Machine(e))),
-                            }
+                            }));
                         }
                     }
                 }
@@ -1001,14 +1027,19 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
                         match slot {
                             Slot::Solo(r, _, t0) => {
                                 done!(t0);
-                                r.resolve(Err(ServiceError::Machine(msg.clone())));
+                                let m = msg.clone();
+                                resolutions.push(Box::new(move || {
+                                    r.resolve(Err(ServiceError::Machine(m)));
+                                }));
                             }
                             Slot::Cross(cross) => {
                                 if let Some((r, _, err)) = cross.fail(msg.clone()) {
                                     done!(cross.submitted);
-                                    r.resolve(Err(ServiceError::Machine(
-                                        err.expect("failed cross op without an error"),
-                                    )));
+                                    resolutions.push(Box::new(move || {
+                                        r.resolve(Err(ServiceError::Machine(
+                                            err.expect("failed cross op without an error"),
+                                        )));
+                                    }));
                                 }
                             }
                         }
@@ -1019,6 +1050,10 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
             fail_slots!(agg_slots);
             fail_slots!(report_slots);
         }
+    }
+    drop(st);
+    for resolve in resolutions {
+        resolve();
     }
 }
 
@@ -1412,14 +1447,22 @@ fn do_split<S: Semigroup, const D: usize>(
         return Err(format!("split failed landing on shard {to}: {e}"));
     }
 
-    // Commit the migration in the routing state.
+    // Commit the migration in the routing state. Under the range policy
+    // the shifted boundary re-describes residency exactly; under hash
+    // placement the moved points no longer live where the placement mix
+    // says, so degenerate-read routing must fall back to full fan-out
+    // from now on (the ownership index is keyed by id, which a
+    // coordinate rect cannot consult).
     for p in &moved {
         router.owner.insert(p.id, to);
     }
     router.shard_len[donor] -= moved.len();
     router.shard_len[to] += moved.len();
-    if donor.abs_diff(to) == 1 {
+    if router.part.bounds().is_some() {
+        debug_assert!(donor.abs_diff(to) == 1, "range split picked a non-adjacent sibling");
         router.part.shift_boundary(donor, to, boundary);
+    } else {
+        router.part.note_hash_migration();
     }
     {
         let mut st = lock(&inner.stats);
@@ -1574,6 +1617,33 @@ mod tests {
             }
             other => panic!("expected split-impossible, got {other:?}"),
         }
+        service.shutdown();
+    }
+
+    /// Regression (review): a hash-policy split migrates points away
+    /// from their placement shard; degenerate reads used to keep
+    /// trusting the placement mix and silently answered 0/None/empty
+    /// for every migrated point. Post-split they must fall back to full
+    /// fan-out and stay byte-identical to the unsharded answer.
+    #[test]
+    fn hash_split_widens_point_routing_but_stays_exact() {
+        let service = quick(2, PartitionPolicy::Hash);
+        let report = service.split_shard(0).unwrap().wait().unwrap().value;
+        assert_eq!(report.from, 0);
+        assert!(report.moved > 0, "hash split must migrate points: {report:?}");
+        // Every point — including every migrated one — is still found
+        // by a degenerate lookup at its coordinate.
+        for i in 0..60u32 {
+            let at = [((i * 193) % 777) as i64, ((i * 71) % 555) as i64];
+            let ids = service.report(Rect::new(at, at)).unwrap().wait().unwrap().value;
+            assert!(ids.contains(&i), "point {i} lost after a hash-policy split");
+        }
+        let stats = service.stats();
+        // The fallback is visible in the routing telemetry: 60 point
+        // reads × both shards, not ×1.
+        assert_eq!(stats.read_ops_routed, 60);
+        assert_eq!(stats.read_shards_touched, 120);
+        assert_eq!(stats.total_points(), 60);
         service.shutdown();
     }
 

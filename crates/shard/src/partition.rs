@@ -1,11 +1,17 @@
 //! Domain partitioning: which shard group owns a point, and which shard
 //! groups a range query must visit.
 //!
-//! Two placement policies are offered. **Hash** spreads inserts uniformly
-//! by a mix of the point's coordinates — balanced under any workload, and
-//! a *point lookup* (a query whose interval is a single coordinate) can
-//! recompute the mix and visit exactly one shard. Hashing destroys
-//! locality, though, so any wider interval must still visit every shard.
+//! Two placement policies are offered. **Hash** spreads inserts by a mix
+//! of the point's coordinates — balanced whenever coordinates are mostly
+//! distinct (points sharing one coordinate share one shard, so a
+//! hot-coordinate workload can still skew placement; the id-blind key is
+//! the price of routable lookups), and a *point lookup* (a query whose
+//! interval is a single coordinate) can recompute the mix and visit
+//! exactly one shard. Hashing destroys locality, though, so any wider
+//! interval must still visit every shard — and once a rebalance has
+//! migrated hash-placed points away from their placement shard, point
+//! lookups fall back to full fan-out too (see
+//! [`Partitioner::note_hash_migration`]).
 //! **Range** slices the first coordinate axis into `S` contiguous slabs —
 //! a range query visits only the slabs its first-axis interval overlaps,
 //! and the router clips each sub-query to the slab so shard answers are
@@ -20,9 +26,11 @@ use ddrs_rangetree::{Point, Rect};
 /// How the id/key domain is divided across shard groups.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PartitionPolicy {
-    /// Place by a mix of the point's coordinates. Balanced placement;
-    /// single-shard fan-out for degenerate (point) queries, all-shard
-    /// fan-out for everything wider.
+    /// Place by a mix of the point's coordinates. Balanced placement
+    /// when coordinates are mostly distinct (duplicate coordinates pile
+    /// onto one shard); single-shard fan-out for degenerate (point)
+    /// queries — until a rebalance migration breaks the placement
+    /// invariant — all-shard fan-out for everything wider.
     Hash,
     /// Place by the first coordinate: shard `i` owns the slab
     /// `[bounds[i-1], bounds[i])` of axis 0 (with implicit `-∞` and
@@ -87,14 +95,25 @@ fn mix_coords<const D: usize>(coords: &[i64; D]) -> u64 {
 /// range boundaries (rebalance moves them).
 #[derive(Debug, Clone)]
 pub(crate) enum Partitioner {
-    Hash { shards: usize },
-    Range { bounds: Vec<i64> },
+    Hash {
+        shards: usize,
+        /// Whether any rebalance has migrated points away from their
+        /// placement shard. While `false`, a degenerate query may trust
+        /// the placement mix and route to one shard; once `true`, the
+        /// mix no longer predicts residency and point lookups must fan
+        /// out like any other hash-policy read (the ownership index is
+        /// keyed by id, which a coordinate rect does not know).
+        moved: bool,
+    },
+    Range {
+        bounds: Vec<i64>,
+    },
 }
 
 impl Partitioner {
     pub(crate) fn new(policy: PartitionPolicy, shards: usize) -> Self {
         match policy {
-            PartitionPolicy::Hash => Partitioner::Hash { shards },
+            PartitionPolicy::Hash => Partitioner::Hash { shards, moved: false },
             PartitionPolicy::Range { bounds } => {
                 assert_eq!(
                     bounds.len(),
@@ -110,7 +129,7 @@ impl Partitioner {
     /// Placement shard for a new point.
     pub(crate) fn place<const D: usize>(&self, p: &Point<D>) -> usize {
         match self {
-            Partitioner::Hash { shards } => (mix_coords(&p.coords) % *shards as u64) as usize,
+            Partitioner::Hash { shards, .. } => (mix_coords(&p.coords) % *shards as u64) as usize,
             Partitioner::Range { bounds } => bounds.partition_point(|b| *b <= p.coords[0]),
         }
     }
@@ -118,10 +137,13 @@ impl Partitioner {
     /// The inclusive shard interval a query's extent overlaps.
     /// Empty rects fan out to no shard (the router answers them locally).
     /// Under hash placement a *degenerate* query (one coordinate on every
-    /// axis) recomputes the placement mix and visits exactly one shard;
-    /// any wider interval must still visit all shards, because coordinate
-    /// hashing destroys locality. Under the range policy the fan-out is
-    /// the slabs the axis-0 interval overlaps.
+    /// axis) recomputes the placement mix and visits exactly one shard —
+    /// unless a migration has moved points off their placement shard
+    /// ([`Partitioner::note_hash_migration`]), after which even point
+    /// lookups fan out everywhere; any wider interval must always visit
+    /// all shards, because coordinate hashing destroys locality. Under
+    /// the range policy the fan-out is the slabs the axis-0 interval
+    /// overlaps.
     pub(crate) fn read_fanout<const D: usize>(
         &self,
         q: &Rect<D>,
@@ -133,8 +155,8 @@ impl Partitioner {
             return 1..=0;
         }
         match self {
-            Partitioner::Hash { shards } => {
-                if q.lo == q.hi {
+            Partitioner::Hash { shards, moved } => {
+                if q.lo == q.hi && !*moved {
                     let s = (mix_coords(&q.lo) % *shards as u64) as usize;
                     s..=s
                 } else {
@@ -174,6 +196,19 @@ impl Partitioner {
         if let Partitioner::Range { bounds } = self {
             debug_assert!(donor.abs_diff(recipient) == 1, "range split needs adjacent shards");
             bounds[donor.min(recipient)] = b;
+        }
+    }
+
+    /// Record that a migration has moved hash-placed points away from
+    /// their placement shard (range policy: no-op — the shifted boundary
+    /// already re-describes residency exactly). From here on the
+    /// placement mix no longer predicts where a coordinate's point
+    /// lives, so [`read_fanout`](Partitioner::read_fanout) stops routing
+    /// degenerate queries to a single shard and falls back to full
+    /// fan-out, keeping answers byte-identical to the unsharded store.
+    pub(crate) fn note_hash_migration(&mut self) {
+        if let Partitioner::Hash { moved, .. } = self {
+            *moved = true;
         }
     }
 
@@ -231,6 +266,26 @@ mod tests {
         for c in counts {
             assert!((800..1200).contains(&c), "hash placement badly skewed: {counts:?}");
         }
+    }
+
+    #[test]
+    fn hash_point_routing_widens_after_a_migration() {
+        let mut part = Partitioner::new(PartitionPolicy::Hash, 4);
+        let p = Point::<2>::new([42, 7], 1);
+        let q = Rect::new(p.coords, p.coords);
+        let home = part.place(&p);
+        assert_eq!(part.read_fanout(&q), home..=home);
+        // A migration breaks the placement invariant: the point may now
+        // live anywhere, so even a degenerate query must fan out fully.
+        part.note_hash_migration();
+        assert_eq!(part.read_fanout(&q), 0..=3, "post-migration lookup must fan out");
+        // Placement of new points and empty-rect handling are unchanged.
+        assert_eq!(part.place(&p), home);
+        assert!(part.read_fanout(&Rect::<2>::new([5, 0], [4, 0])).is_empty());
+        // Range policy: the boundary shift is exact, so no fallback.
+        let mut range = Partitioner::new(PartitionPolicy::Range { bounds: vec![10] }, 2);
+        range.note_hash_migration();
+        assert_eq!(range.read_fanout(&Rect::<2>::new([3, 0], [3, 0])), 0..=0);
     }
 
     #[test]

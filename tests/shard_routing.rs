@@ -10,9 +10,12 @@
 //! * a mixed cross-shard read window costs at most one fused run per
 //!   *touched* shard — untouched shards run nothing.
 //!
-//! The only surviving full fan-out is a genuinely unbounded hash-policy
-//! range scan (coordinate hashing destroys locality), pinned last so a
-//! future change that silently re-widens routing fails here.
+//! The only surviving full fan-outs are a genuinely unbounded
+//! hash-policy range scan (coordinate hashing destroys locality) and
+//! hash-policy point lookups *after* a rebalance migration (the
+//! placement mix no longer predicts residency) — both pinned so a
+//! future change that silently re-widens or re-narrows routing fails
+//! here.
 
 use std::time::Duration;
 
@@ -179,6 +182,34 @@ fn mixed_cross_shard_window_runs_once_per_touched_shard() {
     }
     assert_eq!(after.dispatches - before.dispatches, 1, "one window, one dispatch");
     assert_eq!(after.read_shards_touched - before.read_shards_touched, 3 * 2 + 6);
+    service.shutdown();
+}
+
+/// A hash-policy rebalance migration moves points away from the shard
+/// the placement mix predicts, so the single-shard point-lookup fast
+/// path is permanently given up from the first split onward: degenerate
+/// reads fan out to every shard and keep returning exact answers for
+/// migrated points (a silent wrong-shard miss is not an acceptable
+/// routing optimisation).
+#[test]
+fn hash_point_routing_widens_after_a_split_migration() {
+    let service = quick(PartitionPolicy::Hash);
+    let at = [((17u32 * 193) % 777) as i64, ((17u32 * 71) % 555) as i64];
+    let q = Rect::new(at, at);
+    let (routed, touched) = fanout_of(&service, || {
+        assert_eq!(service.count(q).unwrap().wait().unwrap().value, 1);
+    });
+    assert_eq!((routed, touched), (1, 1), "pre-split point lookup routes to one shard");
+    let report = service.split_shard(0).unwrap().wait().unwrap().value;
+    assert!(report.moved > 0, "split must migrate points: {report:?}");
+    let (routed, touched) = fanout_of(&service, || {
+        assert_eq!(service.count(q).unwrap().wait().unwrap().value, 1);
+    });
+    assert_eq!(
+        (routed, touched),
+        (1, 4),
+        "post-split point lookup must fan out everywhere (exactness over minimality)"
+    );
     service.shutdown();
 }
 
