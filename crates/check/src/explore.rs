@@ -1,0 +1,83 @@
+//! A deterministic interleaving explorer.
+//!
+//! Concurrency protocols whose steps are serialized by a single mutex —
+//! the `Ticket` waker protocol is the motivating case — have the
+//! property that every real-thread schedule is equivalent to *some*
+//! sequential interleaving of the per-thread step sequences. That means
+//! the whole schedule space can be explored exhaustively on one thread:
+//! enumerate every order-preserving merge of the step sequences and run
+//! the protocol once per schedule, asserting its invariants each time.
+//!
+//! The number of schedules for sequences of lengths `l₁…lₖ` is the
+//! multinomial `(Σlᵢ)! / Πlᵢ!` — exponential in general, entirely
+//! tractable for the 2–4-step protocols this is meant for (the ticket
+//! suite explores a few dozen schedules per scenario).
+
+/// Every order-preserving merge of `lens.len()` sequences with the
+/// given lengths. Each schedule is a vector of sequence indices: the
+/// schedule `[0, 1, 0]` means "step of sequence 0, step of sequence 1,
+/// step of sequence 0".
+pub fn interleavings(lens: &[usize]) -> Vec<Vec<usize>> {
+    let total: usize = lens.iter().sum();
+    let mut out = Vec::new();
+    let mut remaining = lens.to_vec();
+    let mut cur = Vec::with_capacity(total);
+    gen(&mut remaining, &mut cur, total, &mut out);
+    out
+}
+
+fn gen(remaining: &mut [usize], cur: &mut Vec<usize>, total: usize, out: &mut Vec<Vec<usize>>) {
+    if cur.len() == total {
+        out.push(cur.clone());
+        return;
+    }
+    for i in 0..remaining.len() {
+        if remaining[i] > 0 {
+            remaining[i] -= 1;
+            cur.push(i);
+            gen(remaining, cur, total, out);
+            cur.pop();
+            remaining[i] += 1;
+        }
+    }
+}
+
+/// Run `f` once per interleaving of the given step-sequence lengths.
+/// Convenience wrapper over [`interleavings`].
+pub fn explore(lens: &[usize], mut f: impl FnMut(&[usize])) {
+    for schedule in interleavings(lens) {
+        f(&schedule);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_multinomial() {
+        assert_eq!(interleavings(&[1]).len(), 1);
+        assert_eq!(interleavings(&[2, 1]).len(), 3);
+        assert_eq!(interleavings(&[2, 2]).len(), 6);
+        assert_eq!(interleavings(&[3, 2]).len(), 10);
+        assert_eq!(interleavings(&[2, 2, 1]).len(), 30);
+    }
+
+    #[test]
+    fn schedules_preserve_per_sequence_order_and_counts() {
+        for schedule in interleavings(&[3, 2]) {
+            assert_eq!(schedule.iter().filter(|&&s| s == 0).count(), 3);
+            assert_eq!(schedule.iter().filter(|&&s| s == 1).count(), 2);
+        }
+    }
+
+    #[test]
+    fn explore_visits_every_schedule() {
+        let mut n = 0;
+        explore(&[2, 2], |s| {
+            assert_eq!(s.len(), 4);
+            n += 1;
+        });
+        assert_eq!(n, 6);
+    }
+}

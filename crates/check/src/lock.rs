@@ -1,0 +1,380 @@
+//! Instrumented lock primitives: lockdep-style order tracking.
+//!
+//! [`TrackedMutex`] and [`TrackedCondvar`] wrap their `std::sync`
+//! counterparts. Every lock carries a `&'static str` *class name*
+//! (e.g. `"sched.queue"`); when tracking is active, each acquisition
+//! records an edge `held → acquired` for every lock the thread already
+//! holds into a global directed graph keyed by class name. If adding an
+//! edge closes a cycle, a human-readable inversion report is recorded
+//! (and printed to stderr once per edge pair) — the run does *not* have
+//! to deadlock for the inversion to surface, which is the whole point:
+//! a single lucky interleaving through `a → b` in one thread and
+//! `b → a` in another is enough evidence.
+//!
+//! Tracking is compiled in under `debug_assertions` or the `lock-check`
+//! feature and is a per-thread `Vec` push/pop on the fast path (the
+//! global graph is only touched on *nested* acquisitions, and a
+//! per-thread edge cache makes each distinct edge hit the global mutex
+//! once per thread). Without either cfg, the wrappers are plain
+//! `std::sync` passthrough: no thread-locals, no graph, no atomics.
+//!
+//! The wrappers also absorb `std` lock poisoning (`PoisonError` is
+//! unwrapped into the inner guard), replacing the
+//! `lock().unwrap_or_else(PoisonError::into_inner)` idiom the scheduler
+//! crates previously each re-implemented: the scheduler stack has its
+//! own poisoning protocol at the service level and treats a panicking
+//! critical section as a contained fault, not a reason to wedge every
+//! subsequent lock call.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+#[cfg(any(debug_assertions, feature = "lock-check"))]
+mod registry {
+    use std::cell::RefCell;
+    use std::collections::{BTreeMap, BTreeSet, HashSet};
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    thread_local! {
+        /// Lock classes this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        /// Edges this thread has already pushed to the global graph.
+        static SEEN: RefCell<HashSet<(&'static str, &'static str)>> =
+            RefCell::new(HashSet::new());
+    }
+
+    struct Graph {
+        /// Directed order graph: `a → b` means some thread acquired `b`
+        /// while holding `a`.
+        edges: BTreeMap<&'static str, BTreeSet<&'static str>>,
+        /// Edge pairs already reported, to keep reports deduplicated.
+        reported: HashSet<(&'static str, &'static str)>,
+        reports: Vec<String>,
+    }
+
+    fn graph() -> &'static Mutex<Graph> {
+        static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(|| {
+            Mutex::new(Graph {
+                edges: BTreeMap::new(),
+                reported: HashSet::new(),
+                reports: Vec::new(),
+            })
+        })
+    }
+
+    /// Is `to` reachable from `from` along recorded edges?
+    fn reaches(
+        edges: &BTreeMap<&'static str, BTreeSet<&'static str>>,
+        from: &'static str,
+        to: &'static str,
+        path: &mut Vec<&'static str>,
+    ) -> bool {
+        if from == to {
+            path.push(from);
+            return true;
+        }
+        path.push(from);
+        if let Some(next) = edges.get(from) {
+            for &n in next {
+                if !path.contains(&n) && reaches(edges, n, to, path) {
+                    return true;
+                }
+            }
+        }
+        path.pop();
+        false
+    }
+
+    pub(super) fn on_acquire(name: &'static str) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if !held.is_empty() {
+                let snapshot: Vec<&'static str> = held.clone();
+                for &h in &snapshot {
+                    record_edge(h, name, &snapshot);
+                }
+            }
+            held.push(name);
+        });
+    }
+
+    fn record_edge(from: &'static str, to: &'static str, held: &[&'static str]) {
+        let fresh = SEEN.with(|seen| seen.borrow_mut().insert((from, to)));
+        if !fresh {
+            return;
+        }
+        let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        // A cycle exists iff `from` was already reachable from `to`
+        // before this edge: the new `from → to` closes the loop.
+        let mut path = Vec::new();
+        if reaches(&g.edges, to, from, &mut path) && g.reported.insert((from, to)) {
+            path.push(to);
+            let report = format!(
+                "lock-order inversion: acquiring '{to}' while holding '{from}', but the \
+                 recorded order already has {} (held here: [{}])",
+                path.iter().map(|n| format!("'{n}'")).collect::<Vec<_>>().join(" -> "),
+                held.join(", "),
+            );
+            eprintln!("ddrs-check: {report}");
+            g.reports.push(report);
+        }
+        g.edges.entry(from).or_default().insert(to);
+    }
+
+    pub(super) fn on_release(name: &'static str) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&h| h == name) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    pub(super) fn reports() -> Vec<String> {
+        graph().lock().unwrap_or_else(PoisonError::into_inner).reports.clone()
+    }
+
+    pub(super) fn clear_reports() {
+        let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        g.reports.clear();
+        g.reported.clear();
+    }
+}
+
+/// True when lock-order tracking is compiled in (debug builds, or any
+/// build with the `lock-check` feature). Tests that assert on cycle
+/// *detection* (rather than cleanliness) should early-return when this
+/// is false.
+pub fn tracking_active() -> bool {
+    cfg!(any(debug_assertions, feature = "lock-check"))
+}
+
+/// All lock-order inversion reports recorded so far, in detection
+/// order. Empty when tracking is inactive — which makes
+/// `assert!(lock_order_reports().is_empty())` a safe suite-level
+/// invariant in every build configuration.
+pub fn lock_order_reports() -> Vec<String> {
+    #[cfg(any(debug_assertions, feature = "lock-check"))]
+    {
+        registry::reports()
+    }
+    #[cfg(not(any(debug_assertions, feature = "lock-check")))]
+    {
+        Vec::new()
+    }
+}
+
+/// Discard recorded inversion reports (the order graph itself is kept:
+/// edges are facts about the program, reports are the findings).
+pub fn clear_lock_order_reports() {
+    #[cfg(any(debug_assertions, feature = "lock-check"))]
+    registry::clear_reports();
+}
+
+/// A `std::sync::Mutex` that participates in lock-order tracking and
+/// absorbs poisoning. The `name` is the lock's *class*: every instance
+/// sharing a name is one node in the order graph (all `ticket.state`
+/// locks are interchangeable for ordering purposes, exactly as in
+/// kernel lockdep).
+pub struct TrackedMutex<T> {
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Wrap `value` under lock class `name`.
+    pub const fn new(name: &'static str, value: T) -> Self {
+        TrackedMutex { name, inner: Mutex::new(value) }
+    }
+
+    /// Acquire the lock, recording order edges against every lock the
+    /// calling thread already holds. Poisoning is absorbed.
+    pub fn lock(&self) -> TrackedGuard<'_, T> {
+        #[cfg(any(debug_assertions, feature = "lock-check"))]
+        registry::on_acquire(self.name);
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        TrackedGuard { name: self.name, inner: Some(inner) }
+    }
+
+    /// The lock's class name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Consume the mutex and hand back the value (poisoning absorbed).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TrackedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedMutex")
+            .field("name", &self.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// The guard returned by [`TrackedMutex::lock`]. Releasing it pops the
+/// lock from the thread's acquisition stack.
+pub struct TrackedGuard<'a, T> {
+    name: &'static str,
+    /// `None` only transiently, while a condvar wait has taken the
+    /// inner guard (the `TrackedGuard` itself is consumed by value in
+    /// that path, so users never observe it).
+    inner: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for TrackedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            // Unreachable by construction: `inner` is only `None` after
+            // a by-value condvar wait consumed the guard.
+            None => unreachable!("tracked guard used after condvar wait consumed it"),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("tracked guard used after condvar wait consumed it"),
+        }
+    }
+}
+
+impl<T> Drop for TrackedGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            #[cfg(any(debug_assertions, feature = "lock-check"))]
+            registry::on_release(self.name);
+        }
+        // Silence the unused-field warning in passthrough builds.
+        #[cfg(not(any(debug_assertions, feature = "lock-check")))]
+        let _ = self.name;
+    }
+}
+
+/// A `std::sync::Condvar` paired with [`TrackedMutex`]: waiting pops
+/// the guard's lock class for the blocked stretch and re-records the
+/// acquisition when the wait returns (so a wake-up that re-acquires
+/// under other held locks still produces order edges).
+pub struct TrackedCondvar {
+    inner: Condvar,
+}
+
+impl TrackedCondvar {
+    /// A fresh condition variable.
+    pub const fn new() -> Self {
+        TrackedCondvar { inner: Condvar::new() }
+    }
+
+    /// Block until notified, releasing (and on wake re-acquiring) the
+    /// guard's mutex. Poisoning is absorbed.
+    pub fn wait<'a, T>(&self, mut guard: TrackedGuard<'a, T>) -> TrackedGuard<'a, T> {
+        let name = guard.name;
+        let inner = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("tracked guard waited on after being consumed"),
+        };
+        #[cfg(any(debug_assertions, feature = "lock-check"))]
+        registry::on_release(name);
+        let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        #[cfg(any(debug_assertions, feature = "lock-check"))]
+        registry::on_acquire(name);
+        TrackedGuard { name, inner: Some(inner) }
+    }
+
+    /// Like [`wait`](Self::wait) with a timeout; the `bool` is *true*
+    /// when the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: TrackedGuard<'a, T>,
+        dur: Duration,
+    ) -> (TrackedGuard<'a, T>, bool) {
+        let name = guard.name;
+        let inner = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("tracked guard waited on after being consumed"),
+        };
+        #[cfg(any(debug_assertions, feature = "lock-check"))]
+        registry::on_release(name);
+        let (inner, timeout) =
+            self.inner.wait_timeout(inner, dur).unwrap_or_else(PoisonError::into_inner);
+        #[cfg(any(debug_assertions, feature = "lock-check"))]
+        registry::on_acquire(name);
+        (TrackedGuard { name, inner: Some(inner) }, timeout.timed_out())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for TrackedCondvar {
+    fn default() -> Self {
+        TrackedCondvar::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_basics() {
+        let m = TrackedMutex::new("test.basic", 0_u32);
+        *m.lock() += 41;
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.name(), "test.basic");
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn condvar_roundtrip() {
+        use std::sync::Arc;
+        let pair = Arc::new((TrackedMutex::new("test.cv", false), TrackedCondvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            *p2.0.lock() = true;
+            p2.1.notify_all();
+        });
+        let mut done = pair.0.lock();
+        while !*done {
+            done = pair.1.wait(done);
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn nested_consistent_order_is_silent() {
+        if !tracking_active() {
+            return;
+        }
+        let a = TrackedMutex::new("test.silent.a", ());
+        let b = TrackedMutex::new("test.silent.b", ());
+        for _ in 0..2 {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        let noisy = lock_order_reports()
+            .into_iter()
+            .filter(|r| r.contains("test.silent"))
+            .collect::<Vec<_>>();
+        assert!(noisy.is_empty(), "consistent nesting reported: {noisy:?}");
+    }
+}

@@ -1,0 +1,52 @@
+//! The `ddrs-check` lint gate.
+//!
+//! * `cargo run -p ddrs-check` — lint the scheduler-stack sources of
+//!   this workspace with the per-crate policy; exit 1 on any finding.
+//! * `cargo run -p ddrs-check -- <file>…` — lint the given files with
+//!   every lint enabled (this is how the known-bad fixtures under
+//!   `tests/check_fixtures/` are exercised).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use ddrs_check::lint::{lint_source, lint_workspace, Diagnostic, LintSet};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let diags = if args.is_empty() {
+        // `CARGO_MANIFEST_DIR` is `crates/check`; the workspace root is
+        // two levels up. Baked in at compile time, so the gate works
+        // from any working directory.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        match lint_workspace(&root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("ddrs-check: cannot read workspace sources: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut diags: Vec<Diagnostic> = Vec::new();
+        for arg in &args {
+            let src = match std::fs::read_to_string(arg) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("ddrs-check: cannot read {arg}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            diags.extend(lint_source(arg, &src, LintSet::all()));
+        }
+        diags
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("ddrs-check: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("ddrs-check: {} finding(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,36 @@
+//! End-to-end exercise of the `ddrs-check` binary: exit 0 on the real
+//! workspace, exit non-zero on every known-bad fixture.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddrs-check"))
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/check_fixtures")
+}
+
+#[test]
+fn no_args_lints_the_workspace_clean() {
+    let out = bin().output().expect("running ddrs-check");
+    assert!(
+        out.status.success(),
+        "workspace lint failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn every_fixture_exits_nonzero() {
+    for name in ["lock_order.rs", "blocking.rs", "unwrap.rs", "relaxed.rs"] {
+        let path = fixtures_dir().join(name);
+        let out = bin().arg(&path).output().expect("running ddrs-check");
+        assert!(!out.status.success(), "fixture {name} was not flagged");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("finding"), "fixture {name} output: {stdout}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Regression test for the runtime lock-order detector: two threads
+//! acquiring two `TrackedMutex`es in opposite orders must produce a
+//! cycle report — deterministically and without ever deadlocking.
+//!
+//! Determinism does not need a racy schedule: the detector works on the
+//! *recorded order graph*, so one thread nesting a→b and another thread
+//! (here: the same test, sequentially) nesting b→a is enough to close
+//! the cycle. Nothing blocks, because the test never holds both locks
+//! across the conflicting acquisition at the same time as the other
+//! order.
+
+use ddrs_check::{clear_lock_order_reports, lock_order_reports, tracking_active, TrackedMutex};
+
+static A: TrackedMutex<u32> = TrackedMutex::new("cycle.a", 0);
+static B: TrackedMutex<u32> = TrackedMutex::new("cycle.b", 0);
+
+#[test]
+fn opposite_order_acquisition_is_reported_not_deadlocked() {
+    if !tracking_active() {
+        // Release build without the `lock-check` feature: the tracked
+        // types are pass-through wrappers and record nothing.
+        assert!(lock_order_reports().is_empty());
+        return;
+    }
+    clear_lock_order_reports();
+
+    // Record a → b on one thread...
+    let t = std::thread::spawn(|| {
+        let a = A.lock();
+        let b = B.lock();
+        drop(b);
+        drop(a);
+    });
+    t.join().expect("recording thread panicked");
+    assert!(lock_order_reports().is_empty(), "consistent nesting must be silent");
+
+    // ...then b → a on another: the edge b→a closes the cycle the
+    // moment it is recorded, before anything can block on it.
+    let t = std::thread::spawn(|| {
+        let b = B.lock();
+        let a = A.lock();
+        drop(a);
+        drop(b);
+    });
+    t.join().expect("inverting thread panicked");
+
+    let reports = lock_order_reports();
+    assert_eq!(reports.len(), 1, "{reports:#?}");
+    assert!(reports[0].contains("cycle.a"), "{}", reports[0]);
+    assert!(reports[0].contains("cycle.b"), "{}", reports[0]);
+    assert!(reports[0].contains("inversion"), "{}", reports[0]);
+
+    // The same inversion again stays deduplicated.
+    let t = std::thread::spawn(|| {
+        let b = B.lock();
+        let a = A.lock();
+        drop(a);
+        drop(b);
+    });
+    t.join().expect("second inverting thread panicked");
+    assert_eq!(lock_order_reports().len(), 1, "duplicate inversion must not re-report");
+
+    clear_lock_order_reports();
+}

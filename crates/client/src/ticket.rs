@@ -22,9 +22,11 @@
 
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
+
+use ddrs_check::{TrackedCondvar, TrackedMutex};
 
 use crate::ServiceError;
 
@@ -55,19 +57,18 @@ enum State<T> {
 }
 
 struct Shared<T> {
-    state: Mutex<State<T>>,
-    cv: Condvar,
-}
-
-fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
-    shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Lock class `ticket.state` — the innermost lock of the whole
+    /// stack: resolution paths take it with scheduler or shard locks
+    /// already held, and it must never wrap around to any of them.
+    state: TrackedMutex<State<T>>,
+    cv: TrackedCondvar,
 }
 
 /// Store `outcome`, then wake every kind of waiter: parked `wait*`
 /// callers via the condvar, and the latest polled waker via `wake`.
 fn fire<T>(shared: &Shared<T>, outcome: Outcome<T>) {
     let waker = {
-        let mut state = lock(shared);
+        let mut state = shared.state.lock();
         let prev = std::mem::replace(&mut *state, State::Done(outcome));
         shared.cv.notify_all();
         match prev {
@@ -183,7 +184,10 @@ enum ResolverRepr<T> {
 /// Public for the same reason as [`Resolver`]: front-ends mint tickets
 /// with it.
 pub fn ticket<T>() -> (Ticket<T>, Resolver<T>) {
-    let shared = Arc::new(Shared { state: Mutex::new(State::Waiting(None)), cv: Condvar::new() });
+    let shared = Arc::new(Shared {
+        state: TrackedMutex::new("ticket.state", State::Waiting(None)),
+        cv: TrackedCondvar::new(),
+    });
     (
         Ticket { repr: Repr::Direct(Arc::clone(&shared)) },
         Resolver { repr: ResolverRepr::Channel(Some(shared)) },
@@ -240,7 +244,7 @@ impl<T> Ticket<T> {
     fn poll_take(&mut self, waker: &Waker) -> Poll<Outcome<T>> {
         match &mut self.repr {
             Repr::Direct(shared) => {
-                let mut state = lock(shared);
+                let mut state = shared.state.lock();
                 match std::mem::replace(&mut *state, State::Taken) {
                     State::Done(out) => Poll::Ready(out),
                     State::Waiting(_) => {
@@ -258,16 +262,13 @@ impl<T> Ticket<T> {
     pub fn wait(self) -> Outcome<T> {
         match self.repr {
             Repr::Direct(shared) => {
-                let mut state = lock(&shared);
+                let mut state = shared.state.lock();
                 loop {
                     match std::mem::replace(&mut *state, State::Taken) {
                         State::Done(outcome) => return outcome,
                         s @ State::Waiting(_) => {
                             *state = s;
-                            state = shared
-                                .cv
-                                .wait(state)
-                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            state = shared.cv.wait(state);
                         }
                         State::Taken => unreachable!("ticket waited twice"),
                     }
@@ -288,7 +289,7 @@ impl<T> Ticket<T> {
     fn wait_until(self, deadline: Instant) -> WaitFor<T> {
         match self.repr {
             Repr::Direct(shared) => {
-                let mut state = lock(&shared);
+                let mut state = shared.state.lock();
                 loop {
                     match std::mem::replace(&mut *state, State::Taken) {
                         State::Done(outcome) => return WaitFor::Ready(outcome),
@@ -299,11 +300,7 @@ impl<T> Ticket<T> {
                                 drop(state);
                                 return WaitFor::TimedOut(Ticket { repr: Repr::Direct(shared) });
                             }
-                            let (guard, _) = shared
-                                .cv
-                                .wait_timeout(state, deadline - now)
-                                .unwrap_or_else(std::sync::PoisonError::into_inner);
-                            state = guard;
+                            state = shared.cv.wait_timeout(state, deadline - now).0;
                         }
                         State::Taken => unreachable!("ticket waited twice"),
                     }
@@ -332,7 +329,7 @@ impl<T> Ticket<T> {
     /// block and polling returns `Ready`).
     pub fn is_done(&self) -> bool {
         match &self.repr {
-            Repr::Direct(shared) => !matches!(*lock(shared), State::Waiting(_)),
+            Repr::Direct(shared) => !matches!(*shared.state.lock(), State::Waiting(_)),
             Repr::Mapped(node) => node.is_done(),
         }
     }
@@ -379,6 +376,7 @@ impl<T> std::fmt::Debug for Ticket<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn resolve_then_wait() {

@@ -40,8 +40,9 @@
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+use ddrs_check::{TrackedCondvar, TrackedMutex};
 
 pub use ddrs_client::SubmitError;
 
@@ -132,14 +133,15 @@ struct SchedQueue<O> {
 
 /// The shared scheduler state: one bounded pending queue, its mode, and
 /// the condvar the scheduler thread sleeps on.
+///
+/// The queue lock is a [`TrackedMutex`] under the class `sched.queue` —
+/// the outermost class of the stack's canonical lock order (the
+/// admission callbacks of [`submit_ops`](SchedCore::submit_ops) take
+/// the front-end's `stats` lock while it is held).
 pub struct SchedCore<O> {
     cfg: SchedConfig,
-    queue: Mutex<SchedQueue<O>>,
-    arrived: Condvar,
-}
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    queue: TrackedMutex<SchedQueue<O>>,
+    arrived: TrackedCondvar,
 }
 
 impl<O> SchedCore<O> {
@@ -152,12 +154,11 @@ impl<O> SchedCore<O> {
         assert!(cfg.queue_capacity >= 1, "queue_capacity must be at least 1");
         SchedCore {
             cfg,
-            queue: Mutex::new(SchedQueue {
-                q: VecDeque::new(),
-                mode: Mode::Running,
-                group_counter: 0,
-            }),
-            arrived: Condvar::new(),
+            queue: TrackedMutex::new(
+                "sched.queue",
+                SchedQueue { q: VecDeque::new(), mode: Mode::Running, group_counter: 0 },
+            ),
+            arrived: TrackedCondvar::new(),
         }
     }
 
@@ -168,7 +169,7 @@ impl<O> SchedCore<O> {
 
     /// Current queue depth (for telemetry snapshots).
     pub fn depth(&self) -> usize {
-        lock(&self.queue).q.len()
+        self.queue.lock().q.len()
     }
 
     /// Admit one request's ops all-or-nothing: either every op is
@@ -190,7 +191,7 @@ impl<O> SchedCore<O> {
         on_overloaded: impl FnOnce(),
     ) -> Result<(), SubmitError> {
         let now = Instant::now();
-        let mut q = lock(&self.queue);
+        let mut q = self.queue.lock();
         if q.mode != Mode::Running {
             return Err(SubmitError::ShutDown);
         }
@@ -223,7 +224,7 @@ impl<O> SchedCore<O> {
     /// Ask the core to stop. Idempotent: only a `Running` core changes
     /// mode (a poison is never downgraded).
     pub fn begin_stop(&self, mode: StopMode) {
-        let mut q = lock(&self.queue);
+        let mut q = self.queue.lock();
         if q.mode == Mode::Running {
             q.mode = match mode {
                 StopMode::Drain => Mode::Draining,
@@ -237,7 +238,7 @@ impl<O> SchedCore<O> {
     /// store may be inconsistent): pending and future work is rejected,
     /// and the eventual [`Window::Shutdown`] reports `poisoned: true`.
     pub fn poison(&self) {
-        lock(&self.queue).mode = Mode::Poisoned;
+        self.queue.lock().mode = Mode::Poisoned;
         self.arrived.notify_all();
     }
 
@@ -254,7 +255,7 @@ impl<O> SchedCore<O> {
         kind: impl Fn(&O) -> K,
         exclusive: impl Fn(&K) -> bool,
     ) -> Window<O> {
-        let mut q = lock(&self.queue);
+        let mut q = self.queue.lock();
         loop {
             match q.mode {
                 Mode::Rejecting | Mode::Poisoned => {
@@ -273,34 +274,22 @@ impl<O> SchedCore<O> {
                     if wake_at.is_some_and(|w| now >= w) {
                         return Window::Idle;
                     }
-                    if q.q.is_empty() {
+                    let Some(front) = q.q.front() else {
                         q = match wake_at {
-                            None => self
-                                .arrived
-                                .wait(q)
-                                .unwrap_or_else(std::sync::PoisonError::into_inner),
-                            Some(w) => {
-                                self.arrived
-                                    .wait_timeout(q, w - now)
-                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                                    .0
-                            }
+                            None => self.arrived.wait(q),
+                            Some(w) => self.arrived.wait_timeout(q, w - now).0,
                         };
                         continue;
-                    }
+                    };
                     if q.q.len() >= self.cfg.max_batch {
                         break;
                     }
-                    let dispatch_at = q.q.front().unwrap().submitted + self.cfg.max_delay;
+                    let dispatch_at = front.submitted + self.cfg.max_delay;
                     if now >= dispatch_at {
                         break;
                     }
                     let until = wake_at.map_or(dispatch_at, |w| w.min(dispatch_at));
-                    q = self
-                        .arrived
-                        .wait_timeout(q, until - now)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .0;
+                    q = self.arrived.wait_timeout(q, until - now).0;
                 }
             }
         }
@@ -328,22 +317,33 @@ pub fn carve<O, K: PartialEq>(
     let mut batch: Vec<Pending<O>> = Vec::new();
     let mut window_kind: Option<K> = None;
     let mut last_group: Option<u64> = None;
-    while let Some(front) = q.front() {
-        if front.deadline.is_some_and(|d| d <= now) {
-            expired.push(q.pop_front().unwrap());
+    // Peek to decide, then pop the op the decision was made about — the
+    // structure keeps every pop statically infallible (no unwrap).
+    loop {
+        let is_dead = {
+            let Some(front) = q.front() else { break };
+            if front.deadline.is_some_and(|d| d <= now) {
+                true
+            } else {
+                if batch.len() >= max_batch && last_group != Some(front.group) {
+                    break;
+                }
+                let k = kind(&front.op);
+                match &window_kind {
+                    None => window_kind = Some(k),
+                    Some(prev) if *prev != k => break,
+                    _ => {}
+                }
+                last_group = Some(front.group);
+                false
+            }
+        };
+        let Some(p) = q.pop_front() else { break };
+        if is_dead {
+            expired.push(p);
             continue;
         }
-        if batch.len() >= max_batch && last_group != Some(front.group) {
-            break;
-        }
-        let k = kind(&front.op);
-        match &window_kind {
-            None => window_kind = Some(k),
-            Some(prev) if *prev != k => break,
-            _ => {}
-        }
-        last_group = Some(front.group);
-        batch.push(q.pop_front().unwrap());
+        batch.push(p);
         if window_kind.as_ref().is_some_and(&exclusive) {
             break;
         }

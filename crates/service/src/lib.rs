@@ -90,11 +90,12 @@ pub use ddrs_client::{
 
 use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ddrs_cgm::{panic_message, Machine};
+use ddrs_check::TrackedMutex;
 use ddrs_client::{PlannedOp, Request, Response};
 use ddrs_engine::QueryBatch;
 use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Semigroup, PAD_ID};
@@ -132,11 +133,10 @@ impl Default for ServiceConfig {
 struct Inner<S: Semigroup, const D: usize> {
     sg: S,
     core: SchedCore<PlannedOp<S, D>>,
-    stats: Mutex<ServiceStats>,
-}
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Lock class `stats` (canonical order: after `sched.queue` — the
+    /// admission callbacks take it under the queue lock — and before
+    /// every resolution path, which runs with no stats guard live).
+    stats: TrackedMutex<ServiceStats>,
 }
 
 /// The serving front-end over one [`Machine`] and one
@@ -185,12 +185,14 @@ impl<S: Semigroup, const D: usize> Service<S, D> {
                 max_delay: cfg.max_delay,
                 queue_capacity: cfg.queue_capacity,
             }),
-            stats: Mutex::new(ServiceStats::default()),
+            stats: TrackedMutex::new("service.stats", ServiceStats::default()),
         });
         let sched_inner = Arc::clone(&inner);
         let scheduler = std::thread::Builder::new()
             .name("ddrs-service-scheduler".into())
             .spawn(move || scheduler_loop(&sched_inner, machine, tree))
+            // ddrs-check: allow(unwrap) — OS thread-spawn failure at
+            // startup, before any request exists; nothing to poison.
             .expect("spawning the service scheduler");
         Service { inner, scheduler: Some(scheduler) }
     }
@@ -198,7 +200,7 @@ impl<S: Semigroup, const D: usize> Service<S, D> {
     /// Snapshot the service telemetry.
     pub fn stats(&self) -> ServiceStats {
         let depth = self.inner.core.depth();
-        let mut snap = lock(&self.inner.stats).clone();
+        let mut snap = self.inner.stats.lock().clone();
         snap.queue_depth = depth;
         snap
     }
@@ -207,8 +209,14 @@ impl<S: Semigroup, const D: usize> Service<S, D> {
         self.inner.core.begin_stop(mode);
         self.scheduler
             .take()
+            // ddrs-check: allow(unwrap) — invariant: every caller either
+            // consumes `self` or checks `scheduler.is_some()` first.
             .expect("service already stopped")
             .join()
+            // ddrs-check: allow(unwrap) — the scheduler loop contains
+            // its own panics (catch_unwind around every machine run); a
+            // panic escaping it is a scheduler bug, and silently
+            // fabricating a (machine, store) here would hide it.
             .expect("service scheduler panicked")
     }
 
@@ -285,9 +293,11 @@ impl<S: Semigroup, const D: usize> RangeStore<S, D> for Service<S, D> {
                 ticket = Some(planned.ticket);
                 (planned.ops, planned.deadline, planned.min_seq)
             },
-            || lock(&self.inner.stats).submitted += n_ops as u64,
-            || lock(&self.inner.stats).overloaded += 1,
+            || self.inner.stats.lock().submitted += n_ops as u64,
+            || self.inner.stats.lock().overloaded += 1,
         )?;
+        // ddrs-check: allow(unwrap) — submit_ops ran `make` on the Ok
+        // path, and `make` always fills the ticket slot.
         Ok(ticket.expect("admission ran the lowering closure"))
     }
 }
@@ -351,7 +361,7 @@ fn scheduler_loop<S: Semigroup, const D: usize>(
                 // Stats before resolution, here and in the dispatch
                 // paths: a client that has observed its response
                 // must also observe its effects in the telemetry.
-                lock(&inner.stats).completed += rejected.len() as u64;
+                inner.stats.lock().completed += rejected.len() as u64;
                 for p in rejected {
                     p.op.fail(ServiceError::ShuttingDown);
                 }
@@ -364,7 +374,7 @@ fn scheduler_loop<S: Semigroup, const D: usize>(
 
         if !expired.is_empty() {
             {
-                let mut st = lock(&inner.stats);
+                let mut st = inner.stats.lock();
                 st.expired += expired.len() as u64;
                 st.completed += expired.len() as u64;
             }
@@ -380,8 +390,10 @@ fn scheduler_loop<S: Semigroup, const D: usize>(
         // always satisfied — dispatch is FIFO.)
         let (batch, unmet) = gate_reads(batch, next_seq, PlannedOp::is_read);
         if !unmet.is_empty() {
-            lock(&inner.stats).completed += unmet.len() as u64;
+            inner.stats.lock().completed += unmet.len() as u64;
             for p in unmet {
+                // ddrs-check: allow(unwrap) — gate_reads puts an op in
+                // `unmet` only when its min_seq bound exists and failed.
                 let required = p.min_seq.expect("partitioned on min_seq");
                 p.op.fail(ServiceError::Consistency { required, committed: next_seq });
             }
@@ -432,7 +444,7 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
     {
         // Stats before resolution: a client that has observed its
         // response must also observe its effects in the telemetry.
-        let mut st = lock(&inner.stats);
+        let mut st = inner.stats.lock();
         st.completed += n;
         st.machine.absorb(&run_stats);
         if run_stats.runs > 0 {
@@ -562,7 +574,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
     {
         // Stats before resolution: a client that has observed its
         // response must also observe its effects in the telemetry.
-        let mut st = lock(&inner.stats);
+        let mut st = inner.stats.lock();
         st.completed += outcomes.len() as u64;
         st.machine.absorb(&run_stats);
         if run_stats.runs > 0 {

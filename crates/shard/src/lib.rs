@@ -126,11 +126,12 @@ pub use stats::{ShardSnapshot, ShardedStats};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ddrs_cgm::{Machine, RunStats};
+use ddrs_check::{TrackedGuard, TrackedMutex};
 use ddrs_client::{
     ticket, Commit, PlannedOp, RangeStore, Request, Resolver, Response, ServiceError, SubmitError,
     Ticket,
@@ -233,15 +234,14 @@ struct Inner<S: Semigroup, const D: usize> {
     /// The shared group-commit scheduler core (admission, window firing,
     /// group-preserving carve, deadline expiry — see `ddrs-sched`).
     core: SchedCore<Op<S, D>>,
-    stats: Mutex<ShardedStats>,
+    /// Lock class `stats` — taken after `sched.queue`, before
+    /// `shard.faults` and `shard.cross` (see `ddrs_check`'s canonical
+    /// order).
+    stats: TrackedMutex<ShardedStats>,
     /// Shards whose next write sub-epoch should suffer an injected
     /// mid-epoch processor panic (deterministic fault injection for the
-    /// test harness).
-    faults: Mutex<HashSet<usize>>,
-}
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// test harness). Lock class `shard.faults`.
+    faults: TrackedMutex<HashSet<usize>>,
 }
 
 /// The per-shard state handed back by [`ShardedService::dismantle`]:
@@ -333,10 +333,14 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
                     inject_fault: false,
                     reply: tx.clone(),
                 })
+                // ddrs-check: allow(unwrap) — construction-time bulk
+                // load: no clients exist yet, and a worker dying before
+                // the service is even built is unrecoverable.
                 .expect("shard worker died during bulk load");
         }
         drop(tx);
         for _ in 0..loading {
+            // ddrs-check: allow(unwrap) — same construction-time path.
             let reply: WriteReply<D> = rx.recv().expect("shard worker died during bulk load");
             if let Err(e) = reply.result {
                 panic!("initial bulk load failed on shard {}: {e}", reply.shard);
@@ -351,15 +355,18 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
                 max_delay: cfg.max_delay,
                 queue_capacity: cfg.queue_capacity,
             }),
-            stats: Mutex::new(ShardedStats {
-                per_shard: shard_len
-                    .iter()
-                    .map(|&n| ShardSnapshot { live_points: n, ..Default::default() })
-                    .collect(),
-                range_bounds: part.bounds(),
-                ..Default::default()
-            }),
-            faults: Mutex::new(HashSet::new()),
+            stats: TrackedMutex::new(
+                "shard.stats",
+                ShardedStats {
+                    per_shard: shard_len
+                        .iter()
+                        .map(|&n| ShardSnapshot { live_points: n, ..Default::default() })
+                        .collect(),
+                    range_bounds: part.bounds(),
+                    ..Default::default()
+                },
+            ),
+            faults: TrackedMutex::new("shard.faults", HashSet::new()),
         });
         let router_state =
             Router { workers, part, owner, shard_len, poisoned: vec![None; shards], next_seq: 0 };
@@ -367,6 +374,8 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
         let router = std::thread::Builder::new()
             .name("ddrs-shard-router".into())
             .spawn(move || router_loop(&sched_inner, router_state))
+            // ddrs-check: allow(unwrap) — OS thread-spawn failure at
+            // startup; there is no running service to keep alive.
             .expect("spawning the shard router");
         Ok(ShardedService { inner, router: Some(router), shards })
     }
@@ -407,8 +416,8 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
         self.inner.core.submit_ops(
             n_ops,
             make,
-            || lock(&self.inner.stats).submitted += n_ops as u64,
-            || lock(&self.inner.stats).overloaded += 1,
+            || self.inner.stats.lock().submitted += n_ops as u64,
+            || self.inner.stats.lock().overloaded += 1,
         )
     }
 
@@ -419,13 +428,13 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
     /// while its siblings keep serving.
     pub fn fail_next_write_epoch(&self, shard: usize) {
         assert!(shard < self.shards, "fail_next_write_epoch: no shard {shard}");
-        lock(&self.inner.faults).insert(shard);
+        self.inner.faults.lock().insert(shard);
     }
 
     /// Snapshot the service telemetry.
     pub fn stats(&self) -> ShardedStats {
         let depth = self.inner.core.depth();
-        let mut snap = lock(&self.inner.stats).clone();
+        let mut snap = self.inner.stats.lock().clone();
         snap.queue_depth = depth;
         snap
     }
@@ -434,8 +443,12 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
         self.inner.core.begin_stop(mode);
         self.router
             .take()
+            // ddrs-check: allow(unwrap) — invariant: every caller either
+            // consumes `self` or checks `router.is_some()` first.
             .expect("sharded service already stopped")
             .join()
+            // ddrs-check: allow(unwrap) — a panic escaping the router
+            // loop is a router bug; fabricating parts would hide it.
             .expect("shard router panicked")
     }
 
@@ -514,6 +527,8 @@ impl<S: Semigroup, const D: usize> RangeStore<S, D> for ShardedService<S, D> {
             ticket = Some(planned.ticket);
             (ops, planned.deadline, planned.min_seq)
         })?;
+        // ddrs-check: allow(unwrap) — on the Ok path `submit_ops` always
+        // ran `make`, which fills the slot.
         Ok(ticket.expect("admission ran the lowering closure"))
     }
 }
@@ -557,7 +572,7 @@ impl<S: Semigroup, const D: usize> Router<S, D> {
 
     /// Publish per-shard health and sizes into the shared stats.
     fn publish(&self, inner: &Inner<S, D>) {
-        let mut st = lock(&inner.stats);
+        let mut st = inner.stats.lock();
         for (i, snap) in st.per_shard.iter_mut().enumerate() {
             snap.live_points = self.shard_len[i];
             snap.poisoned = self.poisoned[i].clone();
@@ -576,7 +591,7 @@ fn router_loop<S: Semigroup, const D: usize>(
         let window = inner.core.next_window(None, Op::kind, |k| *k == Kind::Split);
         let (batch, expired) = match window {
             Window::Shutdown { rejected, .. } => {
-                lock(&inner.stats).completed += rejected.len() as u64;
+                inner.stats.lock().completed += rejected.len() as u64;
                 for p in rejected {
                     p.op.fail(ServiceError::ShuttingDown);
                 }
@@ -591,7 +606,7 @@ fn router_loop<S: Semigroup, const D: usize>(
 
         if !expired.is_empty() {
             {
-                let mut st = lock(&inner.stats);
+                let mut st = inner.stats.lock();
                 st.expired += expired.len() as u64;
                 st.completed += expired.len() as u64;
             }
@@ -604,8 +619,10 @@ fn router_loop<S: Semigroup, const D: usize>(
         // counter, exactly as in the unsharded service.
         let (batch, unmet) = gate_reads(batch, router.next_seq, |op| op.kind() == Kind::Read);
         if !unmet.is_empty() {
-            lock(&inner.stats).completed += unmet.len() as u64;
+            inner.stats.lock().completed += unmet.len() as u64;
             for p in unmet {
+                // ddrs-check: allow(unwrap) — `gate_reads` puts an op in
+                // `unmet` only when it carries a `min_seq` bound.
                 let required = p.min_seq.expect("partitioned on min_seq");
                 p.op.fail(ServiceError::Consistency { required, committed: router.next_seq });
             }
@@ -623,7 +640,7 @@ fn router_loop<S: Semigroup, const D: usize>(
                 };
                 let outcome = do_split(inner, &mut router, donor);
                 {
-                    let mut st = lock(&inner.stats);
+                    let mut st = inner.stats.lock();
                     st.completed += 1;
                     st.latency_us.record(submitted.elapsed().as_micros() as u64);
                 }
@@ -648,8 +665,15 @@ fn stop_workers<S: Semigroup, const D: usize>(router: Router<S, D>) -> Vec<Shard
     let mut parts = Vec::with_capacity(workers.len());
     for (handle, poison) in workers.into_iter().zip(poisoned) {
         let (tx, rx) = mpsc::channel();
+        // ddrs-check: allow(unwrap) — shutdown: workers only exit via
+        // this very Stop job, so a dead channel means a worker panicked
+        // outside the poisoning protocol; we must not fabricate the
+        // `ShardParts` handed back to the caller.
         handle.tx.send(ShardJob::Stop { reply: tx }).expect("shard worker died before stop");
+        // ddrs-check: allow(unwrap) — same shutdown invariant.
         let (machine, tree) = rx.recv().expect("shard worker dropped its stop reply");
+        // ddrs-check: allow(unwrap) — a worker panic is a worker bug;
+        // surfacing it beats returning an inconsistent store silently.
         handle.join.join().expect("shard worker panicked");
         parts.push(ShardParts { machine, tree, poisoned: poison });
     }
@@ -663,7 +687,9 @@ fn stop_workers<S: Semigroup, const D: usize>(router: Router<S, D>) -> Vec<Shard
 struct CrossOp<V> {
     seq: u64,
     submitted: Instant,
-    state: Mutex<CrossState<V>>,
+    /// Lock class `shard.cross` — the innermost shard lock: workers take
+    /// it while folding partials, sometimes with `stats` already held.
+    state: TrackedMutex<CrossState<V>>,
 }
 
 struct CrossState<V> {
@@ -684,18 +710,18 @@ impl<V: Default> CrossOp<V> {
         Arc::new(CrossOp {
             seq,
             submitted,
-            state: Mutex::new(CrossState {
-                remaining: fanout,
-                acc,
-                error: None,
-                resolver: Some(resolver),
-            }),
+            state: TrackedMutex::new(
+                "shard.cross",
+                CrossState { remaining: fanout, acc, error: None, resolver: Some(resolver) },
+            ),
         })
     }
 
-    fn settle(mut st: MutexGuard<'_, CrossState<V>>) -> Option<(Resolver<V>, V, Option<String>)> {
+    fn settle(mut st: TrackedGuard<'_, CrossState<V>>) -> Option<(Resolver<V>, V, Option<String>)> {
         st.remaining -= 1;
         if st.remaining == 0 {
+            // ddrs-check: allow(unwrap) — `remaining` hits zero exactly
+            // once, so the resolver is still present on the last arrival.
             let r = st.resolver.take().expect("cross-shard op resolved twice");
             Some((r, std::mem::take(&mut st.acc), st.error.take()))
         } else {
@@ -706,7 +732,7 @@ impl<V: Default> CrossOp<V> {
     /// Fold one shard's partial into the accumulator. Returns the
     /// resolution duty iff this arrival was the last one.
     fn fold(&self, fold: impl FnOnce(&mut V)) -> Option<(Resolver<V>, V, Option<String>)> {
-        let mut st = lock(&self.state);
+        let mut st = self.state.lock();
         if st.error.is_none() {
             fold(&mut st.acc);
         }
@@ -716,7 +742,7 @@ impl<V: Default> CrossOp<V> {
     /// Record one shard's failure (the first error wins). Returns the
     /// resolution duty iff this arrival was the last one.
     fn fail(&self, e: String) -> Option<(Resolver<V>, V, Option<String>)> {
-        let mut st = lock(&self.state);
+        let mut st = self.state.lock();
         if st.error.is_none() {
             st.error = Some(e);
         }
@@ -793,6 +819,8 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
 
     for p in batch {
         let Op::Client(op) = p.op else { unreachable!("carve() mixed non-reads into a read run") };
+        // ddrs-check: allow(unwrap) — carve() emits kind-homogeneous
+        // runs, and every read op carries an interval.
         let rect = *op.interval().expect("read run contains a non-read op");
         let fan = router.part.read_fanout(&rect);
         let n = fan.clone().count();
@@ -865,7 +893,7 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
     }
 
     {
-        let mut st = lock(&inner.stats);
+        let mut st = inner.stats.lock();
         st.read_ops_routed += routed_ops;
         st.read_shards_touched += shards_touched;
         st.completed += settled_latency.len() as u64;
@@ -900,6 +928,10 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
         router.workers[s]
             .tx
             .send(ShardJob::Reads { batch: qb, complete })
+            // ddrs-check: allow(unwrap) — workers only exit via the Stop
+            // job the router itself sends at shutdown; a dead channel
+            // here means a worker panicked outside the poisoning
+            // protocol, which must stay loud.
             .expect("shard worker died");
     }
 }
@@ -930,9 +962,11 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
     // Ticket resolutions decided in the critical section below, run
     // after it ends.
     let mut resolutions: Vec<Box<dyn FnOnce()>> = Vec::new();
-    let mut st = lock(&inner.stats);
+    let mut st = inner.stats.lock();
     st.machine.absorb(&run_stats);
     st.per_shard[shard].machine.absorb(&run_stats);
+    // ddrs-check: allow(relaxed) — telemetry-only once-flag: it orders
+    // no data (all stats mutate under the `stats` lock held here).
     if run_stats.runs > 0 && !tally.counted.swap(true, Ordering::Relaxed) {
         st.dispatches += 1;
         st.queries_coalesced += tally.routed;
@@ -1037,6 +1071,10 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
                                     done!(cross.submitted);
                                     resolutions.push(Box::new(move || {
                                         r.resolve(Err(ServiceError::Machine(
+                                            // ddrs-check: allow(unwrap) —
+                                            // `cross.fail` just recorded
+                                            // an error, so the final
+                                            // arrival always sees Some.
                                             err.expect("failed cross op without an error"),
                                         )));
                                     }));
@@ -1188,7 +1226,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
     };
 
     let record_latency = |inner: &Inner<S, D>, outcomes: &[(Resolver<()>, Verdict, Instant)]| {
-        let mut st = lock(&inner.stats);
+        let mut st = inner.stats.lock();
         st.completed += outcomes.len() as u64;
         for (_, _, submitted) in outcomes {
             st.latency_us.record(submitted.elapsed().as_micros() as u64);
@@ -1213,7 +1251,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
         inserts.iter().map(|pts| pts.iter().map(|p| p.id).collect()).collect();
     let (tx, rx) = mpsc::channel::<WriteReply<D>>();
     for &s in &involved {
-        let inject_fault = lock(&inner.faults).remove(&s);
+        let inject_fault = inner.faults.lock().remove(&s);
         router.workers[s]
             .tx
             .send(ShardJob::Write {
@@ -1222,6 +1260,8 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
                 inject_fault,
                 reply: tx.clone(),
             })
+            // ddrs-check: allow(unwrap) — workers only exit via the Stop
+            // protocol; a dead channel means a worker panicked.
             .expect("shard worker died");
     }
     drop(tx);
@@ -1229,17 +1269,20 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
         (0..router.shards()).map(|_| None).collect();
     let mut runs_total = 0u64;
     for _ in 0..involved.len() {
+        // ddrs-check: allow(unwrap) — every involved worker replies
+        // exactly once per sub-epoch (failures travel as Err *data*);
+        // a dropped channel means a worker panicked.
         let reply = rx.recv().expect("shard worker dropped a write reply");
         runs_total += reply.stats.runs as u64;
         {
-            let mut st = lock(&inner.stats);
+            let mut st = inner.stats.lock();
             st.machine.absorb(&reply.stats);
             st.per_shard[reply.shard].machine.absorb(&reply.stats);
         }
         replies[reply.shard] = Some(reply.result);
     }
     if runs_total > 0 {
-        let mut st = lock(&inner.stats);
+        let mut st = inner.stats.lock();
         st.write_epochs += 1;
         st.write_shards_touched += involved.len() as u64;
     }
@@ -1300,14 +1343,18 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
                         inject_fault: false,
                         reply: rtx.clone(),
                     })
+                    // ddrs-check: allow(unwrap) — rollback targets only
+                    // healthy shards (their workers are alive).
                     .expect("shard worker died");
                 rolling += 1;
             }
             drop(rtx);
             for _ in 0..rolling {
+                // ddrs-check: allow(unwrap) — one reply per rollback
+                // job, as in the forward path above.
                 let reply = rrx.recv().expect("shard worker dropped a rollback reply");
                 {
-                    let mut st = lock(&inner.stats);
+                    let mut st = inner.stats.lock();
                     st.machine.absorb(&reply.stats);
                     st.per_shard[reply.shard].machine.absorb(&reply.stats);
                 }
@@ -1334,8 +1381,14 @@ fn maybe_rebalance<S: Semigroup, const D: usize>(inner: &Inner<S, D>, router: &m
     if total == 0 {
         return;
     }
-    let (donor, &max) =
-        router.shard_len.iter().enumerate().max_by_key(|(_, &n)| n).expect("shards >= 2");
+    let (donor, &max) = router
+        .shard_len
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &n)| n)
+        // ddrs-check: allow(unwrap) — guarded: `router.shards() < 2`
+        // already returned, so `shard_len` is non-empty.
+        .expect("shards >= 2");
     let mean = total as f64 / router.shards() as f64;
     if max < inner.cfg.rebalance_min || (max as f64) <= inner.cfg.rebalance_factor * mean {
         return;
@@ -1387,10 +1440,13 @@ fn do_split<S: Semigroup, const D: usize>(
     router.workers[donor]
         .tx
         .send(ShardJob::SplitHalf { upper, reply: tx })
+        // ddrs-check: allow(unwrap) — the donor was just checked healthy;
+        // split failures travel as Err data in the reply.
         .expect("shard worker died");
+    // ddrs-check: allow(unwrap) — one reply per split job.
     let reply = rx.recv().expect("shard worker dropped a split reply");
     {
-        let mut st = lock(&inner.stats);
+        let mut st = inner.stats.lock();
         st.machine.absorb(&reply.stats);
         st.per_shard[donor].machine.absorb(&reply.stats);
     }
@@ -1415,10 +1471,13 @@ fn do_split<S: Semigroup, const D: usize>(
             inject_fault: false,
             reply: wtx,
         })
+        // ddrs-check: allow(unwrap) — the recipient was chosen among
+        // healthy shards; landing failures travel as Err data.
         .expect("shard worker died");
+    // ddrs-check: allow(unwrap) — one reply per landing job.
     let landed = wrx.recv().expect("shard worker dropped a migration reply");
     {
-        let mut st = lock(&inner.stats);
+        let mut st = inner.stats.lock();
         st.machine.absorb(&landed.stats);
         st.per_shard[to].machine.absorb(&landed.stats);
     }
@@ -1434,10 +1493,13 @@ fn do_split<S: Semigroup, const D: usize>(
                 inject_fault: false,
                 reply: btx,
             })
+            // ddrs-check: allow(unwrap) — the donor survived extraction;
+            // restore failures travel as Err data.
             .expect("shard worker died");
+        // ddrs-check: allow(unwrap) — one reply per restore job.
         let back = brx.recv().expect("shard worker dropped a restore reply");
         {
-            let mut st = lock(&inner.stats);
+            let mut st = inner.stats.lock();
             st.machine.absorb(&back.stats);
             st.per_shard[donor].machine.absorb(&back.stats);
         }
@@ -1465,7 +1527,7 @@ fn do_split<S: Semigroup, const D: usize>(
         router.part.note_hash_migration();
     }
     {
-        let mut st = lock(&inner.stats);
+        let mut st = inner.stats.lock();
         st.rebalances += 1;
         st.rebalance_moved += moved.len() as u64;
     }

@@ -79,6 +79,8 @@ pub(crate) fn spawn_worker<S: Semigroup, const D: usize>(
     let join = std::thread::Builder::new()
         .name(format!("ddrs-shard-{shard}"))
         .spawn(move || worker_loop(shard, machine, tree, &rx))
+        // ddrs-check: allow(unwrap) — OS thread-spawn failure at service
+        // construction; there is nothing to degrade gracefully yet.
         .expect("spawning a shard worker");
     WorkerHandle { tx, join }
 }

@@ -59,6 +59,7 @@
 //! ```
 pub use ddrs_baselines as baselines;
 pub use ddrs_cgm as cgm;
+pub use ddrs_check as check;
 pub use ddrs_client as client;
 pub use ddrs_engine as engine;
 pub use ddrs_rangetree as rangetree;

@@ -1,0 +1,13 @@
+//! Known-bad fixture for the `relaxed` lint: an `Ordering::Relaxed` on
+//! what could be a consistency-gating atomic, plus an annotated
+//! telemetry use that must stay silent. Not compiled — consumed
+//! textually by `tests/check_lints.rs`.
+
+fn bump_commit_seq(seq: &AtomicU64) -> u64 {
+    seq.fetch_add(1, Ordering::Relaxed)
+}
+
+fn bump_counter(hits: &AtomicU64) {
+    // ddrs-check: allow(relaxed) — telemetry-only counter.
+    hits.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture for the `unwrap` lint: a bare `.unwrap()` in
+//! scheduler-stack code, plus an annotated one that must stay silent.
+//! Not compiled — consumed textually by `tests/check_lints.rs`.
+
+fn bare_unwrap(map: &mut HashMap<u32, u32>) -> u32 {
+    map.remove(&1).unwrap()
+}
+
+fn annotated_expect(slot: Option<u32>) -> u32 {
+    // ddrs-check: allow(unwrap) — the fixture's justified escape hatch.
+    slot.expect("filled by the admission path")
+}

@@ -1,0 +1,66 @@
+//! The `ddrs-check` lint gate, run as part of the ordinary test suite:
+//! every known-bad fixture under `tests/check_fixtures/` trips exactly
+//! the lint it exists for, and the real workspace comes back clean.
+
+use std::fs;
+use std::path::Path;
+
+use ddrs_check::{lint_source, lint_workspace, Lint, LintSet};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/check_fixtures").join(name);
+    fs::read_to_string(&p).unwrap_or_else(|e| panic!("reading {}: {e}", p.display()))
+}
+
+fn diags_for(name: &str) -> Vec<ddrs_check::Diagnostic> {
+    lint_source(name, &fixture(name), LintSet::all())
+}
+
+#[test]
+fn lock_order_fixture_trips_only_the_inversion() {
+    let diags = diags_for("lock_order.rs");
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].lint, Lint::LockOrder);
+    // The inversion is the nested `queue` acquisition, not the clean
+    // nesting further down.
+    assert_eq!(diags[0].line, 8, "{diags:#?}");
+}
+
+#[test]
+fn blocking_fixture_trips_only_the_recv_under_guard() {
+    let diags = diags_for("blocking.rs");
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].lint, Lint::BlockingWhileLocked);
+    assert_eq!(diags[0].line, 7, "{diags:#?}");
+}
+
+#[test]
+fn unwrap_fixture_trips_the_bare_unwrap_and_honors_the_allow() {
+    let diags = diags_for("unwrap.rs");
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].lint, Lint::Unwrap);
+    assert_eq!(diags[0].line, 6, "{diags:#?}");
+}
+
+#[test]
+fn relaxed_fixture_trips_the_bare_relaxed_and_honors_the_allow() {
+    let diags = diags_for("relaxed.rs");
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].lint, Lint::Relaxed);
+    assert_eq!(diags[0].line, 7, "{diags:#?}");
+}
+
+#[test]
+fn every_fixture_fails_under_the_full_lint_set() {
+    for name in ["lock_order.rs", "blocking.rs", "unwrap.rs", "relaxed.rs"] {
+        assert!(!diags_for(name).is_empty(), "fixture {name} produced no findings");
+    }
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = lint_workspace(root).expect("walking the workspace sources");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert!(diags.is_empty(), "workspace lint findings:\n{}", rendered.join("\n"));
+}

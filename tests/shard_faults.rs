@@ -317,6 +317,11 @@ fn mid_epoch_fault_amid_concurrent_reads_rolls_back_atomically() {
     assert_eq!(parts[0].tree.len(), 20, "shard 0 sub-epoch must be rolled back");
     assert!(parts[0].tree.contains_id(0), "deleted id 0 must be restored");
     assert_eq!(parts[2].tree.len(), 20);
+    // Under `lock-check` (or any debug build) the tracked-lock runtime
+    // watched the fault, rollback and read-storm paths above; none of
+    // them may have recorded a lock-order inversion.
+    let reports = ddrs::check::lock_order_reports();
+    assert!(reports.is_empty(), "lock-order inversions under faults:\n{}", reports.join("\n"));
 }
 
 /// The fault hook only fires when an epoch actually reaches the armed

@@ -245,6 +245,11 @@ fn seeded_stress_pins_the_replay_transcript() {
     let first = stress_run(11);
     let second = stress_run(11);
     assert_eq!(first, second, "same seed ⇒ same final store, whatever the interleaving");
+    // Under `lock-check` (or any debug build) the tracked-lock runtime
+    // watched every acquisition above; the stress run must not have
+    // recorded a single lock-order inversion.
+    let reports = ddrs::check::lock_order_reports();
+    assert!(reports.is_empty(), "lock-order inversions under stress:\n{}", reports.join("\n"));
 }
 
 /// The hash-policy variant: every read is a *point lookup* (degenerate

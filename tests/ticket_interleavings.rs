@@ -1,0 +1,179 @@
+//! Exhaustive interleaving exploration of the `Ticket`/`Resolver` waker
+//! protocol, driven by `ddrs_check::explore`.
+//!
+//! The shared ticket state is a single mutex, so every concurrent
+//! schedule is equivalent to *some* sequential interleaving of the two
+//! sides' steps — which means enumerating all order-preserving merges
+//! of the client's steps and the backend's steps covers the protocol
+//! exhaustively, with none of the flakiness of real threads.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use ddrs_check::explore::interleavings;
+use ddrs_client::{ticket, Commit, Outcome, Resolver, ServiceError, Ticket};
+
+#[derive(Default)]
+struct CountingWake(AtomicUsize);
+
+impl Wake for CountingWake {
+    fn wake(self: Arc<Self>) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ClientStep {
+    Poll,
+    DropTicket,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum BackendStep {
+    Resolve(u64),
+    DropResolver,
+}
+
+/// One sequential execution of an interleaving. Returns
+/// `(observed, wake_count, pending_polls_before_backend_step)`.
+struct Run {
+    ticket: Option<Ticket<u64>>,
+    resolver: Option<Resolver<u64>>,
+    counter: Arc<CountingWake>,
+    waker: Waker,
+    observed: Option<Outcome<u64>>,
+    pending_polls: usize,
+}
+
+impl Run {
+    fn new(mapped: bool) -> Run {
+        let (t, r) = ticket::<u64>();
+        let t = if mapped { t.map(|v| v * 2) } else { t };
+        let counter = Arc::new(CountingWake::default());
+        let waker = Waker::from(Arc::clone(&counter));
+        Run { ticket: Some(t), resolver: Some(r), counter, waker, observed: None, pending_polls: 0 }
+    }
+
+    fn client(&mut self, step: ClientStep) {
+        match step {
+            ClientStep::Poll => {
+                // Polling after Ready was taken is a contract violation,
+                // so a redeemed (or dropped) ticket skips further polls.
+                if self.observed.is_some() {
+                    return;
+                }
+                let Some(t) = self.ticket.as_mut() else { return };
+                let mut cx = Context::from_waker(&self.waker);
+                match Pin::new(t).poll(&mut cx) {
+                    Poll::Ready(out) => self.observed = Some(out),
+                    Poll::Pending => self.pending_polls += 1,
+                }
+            }
+            ClientStep::DropTicket => drop(self.ticket.take()),
+        }
+    }
+
+    fn backend(&mut self, step: BackendStep) {
+        match step {
+            BackendStep::Resolve(v) => {
+                if let Some(r) = self.resolver.take() {
+                    r.resolve(Ok(Commit { value: v, seq: 1 }));
+                }
+            }
+            BackendStep::DropResolver => drop(self.resolver.take()),
+        }
+    }
+
+    fn wakes(&self) -> usize {
+        self.counter.0.load(Ordering::SeqCst)
+    }
+}
+
+fn explore_protocol(
+    client: &[ClientStep],
+    backend: &[BackendStep],
+    mapped: bool,
+    check: impl Fn(&Run, /* polled_before_backend: */ bool, &[usize]),
+) {
+    for order in interleavings(&[client.len(), backend.len()]) {
+        let mut run = Run::new(mapped);
+        let (mut ci, mut bi) = (0usize, 0usize);
+        let mut polled_before_backend = false;
+        for &thread in &order {
+            if thread == 0 {
+                run.client(client[ci]);
+                ci += 1;
+            } else {
+                // Our scenarios use exactly one backend step; remember
+                // whether any poll was left pending when it fired.
+                polled_before_backend = run.pending_polls > 0 && run.observed.is_none();
+                run.backend(backend[bi]);
+                bi += 1;
+            }
+        }
+        check(&run, polled_before_backend, &order);
+    }
+}
+
+#[test]
+fn resolve_against_every_poll_schedule() {
+    let client = [ClientStep::Poll, ClientStep::Poll, ClientStep::Poll];
+    let backend = [BackendStep::Resolve(21)];
+    explore_protocol(&client, &backend, false, |run, polled_before, order| {
+        // A poll that runs after resolution redeems the outcome; if
+        // every poll preceded the resolve, the value is still waiting.
+        let expected = Ok(Commit { value: 21, seq: 1 });
+        if let Some(out) = &run.observed {
+            assert_eq!(*out, expected, "schedule {order:?}");
+        }
+        // The waker fires exactly once, and only if a poll registered
+        // it before the backend resolved.
+        assert_eq!(run.wakes(), usize::from(polled_before), "schedule {order:?}");
+        // The ticket (if unredeemed) is still redeemable afterwards.
+        if run.observed.is_none() {
+            let t = run.ticket.as_ref().expect("ticket intact");
+            assert!(t.is_done(), "schedule {order:?}");
+        }
+    });
+}
+
+#[test]
+fn resolver_drop_against_every_poll_schedule() {
+    let client = [ClientStep::Poll, ClientStep::Poll];
+    let backend = [BackendStep::DropResolver];
+    explore_protocol(&client, &backend, false, |run, polled_before, order| {
+        if let Some(out) = &run.observed {
+            assert_eq!(*out, Err(ServiceError::ShuttingDown), "schedule {order:?}");
+        }
+        assert_eq!(run.wakes(), usize::from(polled_before), "schedule {order:?}");
+    });
+}
+
+#[test]
+fn ticket_drop_against_resolve_never_panics() {
+    let client = [ClientStep::Poll, ClientStep::DropTicket];
+    let backend = [BackendStep::Resolve(7)];
+    explore_protocol(&client, &backend, false, |run, _, order| {
+        // Nothing to observe once the ticket is gone — the point is
+        // that no schedule panics and the waker fires at most once.
+        assert!(run.wakes() <= 1, "schedule {order:?}");
+    });
+}
+
+#[test]
+fn mapped_ticket_projects_under_every_schedule() {
+    let client = [ClientStep::Poll, ClientStep::Poll];
+    let backend = [BackendStep::Resolve(21)];
+    explore_protocol(&client, &backend, true, |run, polled_before, order| {
+        if let Some(out) = &run.observed {
+            assert_eq!(*out, Ok(Commit { value: 42, seq: 1 }), "schedule {order:?}");
+        }
+        assert_eq!(run.wakes(), usize::from(polled_before), "schedule {order:?}");
+    });
+}
