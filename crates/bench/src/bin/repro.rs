@@ -28,6 +28,18 @@ use ddrs_rangetree::{
 use ddrs_service::{Service, ServiceConfig};
 use ddrs_workloads::{ArrivalProcess, ArrivalTrace, QueryDistribution, QueryMode, QueryWorkload};
 
+/// The per-stage latency attribution as a JSON object (mean µs per
+/// stage), for the `stage_breakdown_us` field of the BENCH files.
+fn stage_json(stages: &ddrs_trace::StageBreakdown) -> String {
+    let fields = stages
+        .stages()
+        .iter()
+        .map(|(name, agg)| format!("\"{name}\": {:.1}", agg.mean_us()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{fields}}}")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
@@ -736,12 +748,16 @@ fn e2() {
         json_rows.push(format!(
             "    {{\"offered_rps\": {rate:.0}, \"achieved_rps\": {rps:.1}, \
              \"mean_batch\": {:.2}, \"queries_per_run\": {:.2}, \"machine_runs\": {}, \
-             \"p50_us\": {}, \"p99_us\": {}}}",
+             \"p50_us\": {}, \"p99_us\": {}, \"mean_us\": {:.1}, \"max_us\": {}, \
+             \"stage_breakdown_us\": {}}}",
             stats.mean_batch_size(),
             stats.coalescing_factor(),
             stats.machine.runs,
             stats.p50_latency_us(),
             stats.p99_latency_us(),
+            stats.latency_us.mean(),
+            stats.latency_us.max(),
+            stage_json(&stats.stages),
         ));
     }
     rows.push(vec![
@@ -770,8 +786,11 @@ fn e2() {
         "{{\n  \"experiment\": \"e2\",\n  \"p\": {p},\n  \"clients\": {clients},\n  \
          \"requests\": {n_requests},\n  \"coalesced\": [\n{}\n  ],\n  \
          \"one_run_per_query\": {{\"achieved_rps\": {naive_rps:.1}, \"p50_us\": {naive_p50}, \
-         \"p99_us\": {naive_p99}}},\n  \"speedup_at_saturation\": {:.2}\n}}\n",
+         \"p99_us\": {naive_p99}, \"mean_us\": {:.1}, \"max_us\": {}}},\n  \
+         \"speedup_at_saturation\": {:.2}\n}}\n",
         json_rows.join(",\n"),
+        naive_hist.mean(),
+        naive_hist.max(),
         best_rps / naive_rps
     );
     match std::fs::write("BENCH_service.json", &json) {
@@ -862,13 +881,17 @@ fn e3() {
         json_rows.push(format!(
             "    {{\"shards\": {shards}, \"p_per_shard\": {}, \"achieved_rps\": {rps:.1}, \
              \"mean_batch\": {:.2}, \"mean_read_fanout\": {:.3}, \"machine_runs\": {}, \
-             \"p50_us\": {}, \"p99_us\": {}}}",
+             \"p50_us\": {}, \"p99_us\": {}, \"mean_us\": {:.1}, \"max_us\": {}, \
+             \"stage_breakdown_us\": {}}}",
             budget / shards,
             stats.mean_batch_size(),
             stats.mean_read_fanout(),
             stats.machine.runs,
             stats.p50_latency_us(),
             stats.p99_latency_us(),
+            stats.latency_us.mean(),
+            stats.latency_us.max(),
+            stage_json(&stats.stages),
         ));
     }
 
@@ -1064,12 +1087,15 @@ fn e4() {
         ]);
         json_rows.push(format!(
             "    {{\"mode\": \"{mode}\", \"achieved_rps\": {rps:.1}, \"mean_batch\": {:.2}, \
-             \"dispatches\": {}, \"machine_runs\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+             \"dispatches\": {}, \"machine_runs\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"mean_us\": {:.1}, \"max_us\": {}}}",
             stats.mean_batch_size(),
             stats.dispatches,
             stats.machine.runs,
             stats.p50_latency_us(),
             stats.p99_latency_us(),
+            stats.latency_us.mean(),
+            stats.latency_us.max(),
         ));
     }
     print_table(

@@ -19,6 +19,10 @@ pub struct Ctx<'a> {
     fabric: &'a Fabric,
     collector: &'a StatsCollector,
     round: usize,
+    /// Trace clock reading when the current local-compute slice began
+    /// (context creation or the end of the previous collective). Always
+    /// 0 when span recording is compiled out.
+    compute_start_ns: u64,
 }
 
 impl<'a> Ctx<'a> {
@@ -28,7 +32,7 @@ impl<'a> Ctx<'a> {
         fabric: &'a Fabric,
         collector: &'a StatsCollector,
     ) -> Self {
-        Ctx { rank, p, fabric, collector, round: 0 }
+        Ctx { rank, p, fabric, collector, round: 0, compute_start_ns: ddrs_trace::now_ns() }
     }
 
     /// This processor's rank in `0..p`.
@@ -47,6 +51,9 @@ impl<'a> Ctx<'a> {
     /// communication round).
     pub fn barrier(&mut self) {
         self.fabric.sync();
+        // Time blocked here belongs to no collective; restart the
+        // compute clock so the next superstep's slice stays honest.
+        self.compute_start_ns = ddrs_trace::now_ns();
     }
 
     /// The fundamental superstep: deliver `out[d]` to processor `d`, return
@@ -65,6 +72,7 @@ impl<'a> Ctx<'a> {
             .filter(|(d, _)| *d != self.rank)
             .map(|(_, b)| slice_words(b))
             .sum();
+        let enter_ns = ddrs_trace::now_ns();
         for (dst, bucket) in out.into_iter().enumerate() {
             self.fabric.deposit(self.rank, dst, bucket);
         }
@@ -77,8 +85,17 @@ impl<'a> Ctx<'a> {
             .map(|(_, b)| slice_words(b))
             .sum();
         self.collector.record(self.round, label, sent, recv);
+        self.collector.record_step(
+            self.rank,
+            self.round,
+            label,
+            self.compute_start_ns,
+            enter_ns.saturating_sub(self.compute_start_ns),
+            ddrs_trace::now_ns().saturating_sub(enter_ns),
+        );
         self.round += 1;
         self.fabric.sync();
+        self.compute_start_ns = ddrs_trace::now_ns();
         inbound
     }
 }

@@ -284,6 +284,7 @@ impl Machine {
         {
             let mut stats = self.stats.lock();
             stats.rounds.extend(self.collector.take_rounds());
+            stats.timeline.extend(self.collector.take_timeline());
             stats.runs += 1;
         }
         Ok(results)
@@ -385,6 +386,25 @@ mod tests {
         let s2 = m.take_stats();
         assert_eq!(s2.supersteps(), 2 * s1.supersteps());
         assert_eq!(m.stats().supersteps(), 0);
+    }
+
+    #[test]
+    fn timeline_covers_every_rank_when_recording_is_compiled_in() {
+        let m = Machine::new(2).unwrap();
+        m.run(|ctx| ctx.all_reduce_sum(1u64));
+        let stats = m.take_stats();
+        if !ddrs_trace::enabled() {
+            assert!(stats.timeline.is_empty(), "no recording, no timeline");
+            return;
+        }
+        assert!(!stats.timeline.is_empty());
+        for rank in 0..2 {
+            let steps: Vec<_> = stats.timeline.iter().filter(|s| s.rank == rank).collect();
+            assert_eq!(steps.len(), stats.supersteps(), "one step per rank per superstep");
+        }
+        // Failed runs contribute no timeline either.
+        let _ = m.try_run::<_, ()>(|_ctx| panic!("boom"));
+        assert!(m.take_stats().timeline.is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! collective call, so the experiment harness can verify the bounds on real
 //! executions instead of trusting the proofs.
 
+use ddrs_trace::RankStep;
 use parking_lot::Mutex;
 
 /// Accumulated measurements for one superstep (one collective call).
@@ -36,6 +37,14 @@ pub struct RunStats {
     pub rounds: Vec<RoundStat>,
     /// Number of `run` invocations covered by these statistics.
     pub runs: usize,
+    /// Per-rank compute/barrier timeline of every superstep — one
+    /// [`RankStep`] per (rank, collective call). Empty unless span
+    /// recording is compiled in (`debug_assertions` or the `trace`
+    /// feature; see [`ddrs_trace::enabled`]): the timeline is the
+    /// per-run view of the paper's h-relation *balance* claim, and it
+    /// shares the request-span clock so [`ddrs_trace::Trace::export_chrome`]
+    /// can lay supersteps under the requests they served.
+    pub timeline: Vec<RankStep>,
 }
 
 impl RunStats {
@@ -136,6 +145,9 @@ impl RunStatsRollup {
 #[derive(Debug, Default)]
 pub(crate) struct StatsCollector {
     rounds: Mutex<Vec<RoundStat>>,
+    /// Per-rank compute/barrier slices, appended by every rank of every
+    /// collective when span recording is compiled in.
+    timeline: Mutex<Vec<RankStep>>,
 }
 
 impl StatsCollector {
@@ -157,15 +169,45 @@ impl StatsCollector {
         r.total_words += sent;
     }
 
+    /// Record one rank's compute/barrier slice for round `round`. A
+    /// no-op (folded away) when span recording is compiled out.
+    pub(crate) fn record_step(
+        &self,
+        rank: usize,
+        round: usize,
+        label: &'static str,
+        start_ns: u64,
+        compute_ns: u64,
+        barrier_ns: u64,
+    ) {
+        if !ddrs_trace::enabled() {
+            return;
+        }
+        self.timeline.lock().push(RankStep {
+            rank,
+            round,
+            label,
+            start_ns,
+            compute_ns,
+            barrier_ns,
+        });
+    }
+
     /// Drain the rounds collected since the last drain/clear.
     pub(crate) fn take_rounds(&self) -> Vec<RoundStat> {
         std::mem::take(&mut *self.rounds.lock())
+    }
+
+    /// Drain the per-rank timeline collected since the last drain/clear.
+    pub(crate) fn take_timeline(&self) -> Vec<RankStep> {
+        std::mem::take(&mut *self.timeline.lock())
     }
 
     /// Discard the rounds of a failed (cancelled) run: the partial,
     /// possibly divergent measurements would only mislead.
     pub(crate) fn clear(&self) {
         self.rounds.lock().clear();
+        self.timeline.lock().clear();
     }
 }
 
@@ -195,6 +237,7 @@ mod tests {
                 RoundStat { label: "b", max_sent_words: 9, max_recv_words: 2, total_words: 11 },
             ],
             runs: 1,
+            timeline: Vec::new(),
         };
         let run2 = RunStats {
             rounds: vec![RoundStat {
@@ -204,6 +247,7 @@ mod tests {
                 total_words: 40,
             }],
             runs: 2,
+            timeline: Vec::new(),
         };
         let mut rollup = RunStatsRollup::default();
         assert_eq!(rollup.rounds_per_run(), 0.0);
@@ -225,6 +269,7 @@ mod tests {
                 RoundStat { label: "a", max_sent_words: 1, max_recv_words: 1, total_words: 2 },
             ],
             runs: 1,
+            timeline: Vec::new(),
         };
         assert_eq!(stats.supersteps(), 3);
         assert_eq!(stats.max_h(), 9);

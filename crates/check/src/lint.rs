@@ -38,10 +38,21 @@ use std::path::{Path, PathBuf};
 /// lock classes, outermost first. `stats` covers both `service.stats`
 /// and `shard.stats` (they never nest with each other); `shard.cross`
 /// is the per-`CrossOp` merge state; `ticket.state` is the client-side
-/// ticket cell, always innermost because resolving a ticket is the last
-/// thing a completion path does.
-pub const CANONICAL_LOCK_ORDER: &[&str] =
-    &["sched.queue", "stats", "shard.faults", "shard.cross", "ticket.state"];
+/// ticket cell, innermost of the scheduling locks because resolving a
+/// ticket is the last thing a completion path does. The two telemetry
+/// classes sit below everything: `metrics.registry` is the unified
+/// export registry, and `trace.ring` guards the per-thread span
+/// ring-buffers — recording an event must be legal from under any
+/// scheduler lock, so it ranks last.
+pub const CANONICAL_LOCK_ORDER: &[&str] = &[
+    "sched.queue",
+    "stats",
+    "shard.faults",
+    "shard.cross",
+    "ticket.state",
+    "metrics.registry",
+    "trace.ring",
+];
 
 /// Condvar field names; `cv.wait(guard)` consuming its own guard is the
 /// legal blocking-under-lock form.
@@ -76,6 +87,8 @@ fn classify(field: &str, path: &str) -> Option<(usize, &'static str)> {
                 Some((3, "shard.cross"))
             }
         }
+        "registry" => Some((5, "metrics.registry")),
+        "ring" | "rings" => Some((6, "trace.ring")),
         _ => None,
     }
 }
@@ -767,8 +780,13 @@ impl Analyzer<'_> {
 // ---------------------------------------------------------------------------
 
 /// The crates the workspace pass covers.
-const WORKSPACE_CRATES: &[&str] =
-    &["crates/sched/src", "crates/service/src", "crates/shard/src", "crates/client/src"];
+const WORKSPACE_CRATES: &[&str] = &[
+    "crates/sched/src",
+    "crates/service/src",
+    "crates/shard/src",
+    "crates/client/src",
+    "crates/trace/src",
+];
 
 /// Lint the scheduler-stack sources under `root` (the workspace root),
 /// applying the per-crate policy of [`LintSet::for_workspace_path`].

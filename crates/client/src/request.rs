@@ -219,6 +219,9 @@ impl<S: Semigroup, const D: usize> Request<S, D> {
     pub fn plan(self) -> Planned<S, D> {
         let total = self.len();
         let (outer_ticket, outer) = ticket::<Response<S>>();
+        // Every op of the request reports under the outer ticket's span:
+        // one request, one trace identity, however many ops it carries.
+        let span = outer_ticket.span();
         let agg = Arc::new(Mutex::new(AggState {
             resp: Response {
                 counts: vec![0; self.counts.len()],
@@ -237,7 +240,7 @@ impl<S: Semigroup, const D: usize> Request<S, D> {
         let mut ops: Vec<PlannedOp<S, D>> = Vec::with_capacity(total);
         for (j, w) in self.writes.into_iter().enumerate() {
             let agg = Arc::clone(&agg);
-            let r = callback_resolver(move |out: Outcome<()>| {
+            let r = callback_resolver(span, move |out: Outcome<()>| {
                 complete_one(&agg, |g| match out {
                     Ok(c) => {
                         g.resp.writes[j] = Ok(());
@@ -256,7 +259,7 @@ impl<S: Semigroup, const D: usize> Request<S, D> {
         }
         for (i, q) in self.counts.into_iter().enumerate() {
             let agg = Arc::clone(&agg);
-            let r = callback_resolver(move |out: Outcome<u64>| {
+            let r = callback_resolver(span, move |out: Outcome<u64>| {
                 complete_one(&agg, |g| match out {
                     Ok(c) => {
                         g.resp.counts[i] = c.value;
@@ -269,7 +272,7 @@ impl<S: Semigroup, const D: usize> Request<S, D> {
         }
         for (i, q) in self.aggs.into_iter().enumerate() {
             let agg = Arc::clone(&agg);
-            let r = callback_resolver(move |out: Outcome<Option<S::Val>>| {
+            let r = callback_resolver(span, move |out: Outcome<Option<S::Val>>| {
                 complete_one(&agg, |g| match out {
                     Ok(c) => {
                         g.resp.aggregates[i] = c.value;
@@ -282,7 +285,7 @@ impl<S: Semigroup, const D: usize> Request<S, D> {
         }
         for (i, q) in self.reports.into_iter().enumerate() {
             let agg = Arc::clone(&agg);
-            let r = callback_resolver(move |out: Outcome<Vec<u32>>| {
+            let r = callback_resolver(span, move |out: Outcome<Vec<u32>>| {
                 complete_one(&agg, |g| match out {
                     Ok(c) => {
                         g.resp.reports[i] = c.value;
@@ -398,6 +401,18 @@ pub enum PlannedOp<S: Semigroup, const D: usize> {
 }
 
 impl<S: Semigroup, const D: usize> PlannedOp<S, D> {
+    /// The trace span this op reports under — the span of the request
+    /// that planned it, shared by every sibling op.
+    pub fn span(&self) -> ddrs_trace::SpanId {
+        match self {
+            PlannedOp::Count(_, r) => r.span(),
+            PlannedOp::Aggregate(_, r) => r.span(),
+            PlannedOp::Report(_, r) => r.span(),
+            PlannedOp::Insert(_, r) => r.span(),
+            PlannedOp::Delete(_, r) => r.span(),
+        }
+    }
+
     /// True for the three query modes, false for writes.
     pub fn is_read(&self) -> bool {
         matches!(self, PlannedOp::Count(..) | PlannedOp::Aggregate(..) | PlannedOp::Report(..))

@@ -27,6 +27,7 @@ use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
 use ddrs_check::{TrackedCondvar, TrackedMutex};
+use ddrs_trace::{SpanId, Stage};
 
 use crate::ServiceError;
 
@@ -156,6 +157,7 @@ enum Repr<T> {
 /// polling it as a [`Future`].
 pub struct Ticket<T> {
     repr: Repr<T>,
+    span: SpanId,
 }
 
 /// The backend half: resolves the paired [`Ticket`] exactly once.
@@ -169,6 +171,7 @@ pub struct Ticket<T> {
 /// the same [`Ticket`] API without re-implementing the channel.
 pub struct Resolver<T> {
     repr: ResolverRepr<T>,
+    span: SpanId,
 }
 
 enum ResolverRepr<T> {
@@ -188,27 +191,42 @@ pub fn ticket<T>() -> (Ticket<T>, Resolver<T>) {
         state: TrackedMutex::new("ticket.state", State::Waiting(None)),
         cv: TrackedCondvar::new(),
     });
+    let span = SpanId::fresh();
     (
-        Ticket { repr: Repr::Direct(Arc::clone(&shared)) },
-        Resolver { repr: ResolverRepr::Channel(Some(shared)) },
+        Ticket { repr: Repr::Direct(Arc::clone(&shared)), span },
+        Resolver { repr: ResolverRepr::Channel(Some(shared)), span },
     )
 }
 
-/// A resolver whose resolution is handed to `f` instead of a channel.
-pub(crate) fn callback_resolver<T>(f: impl FnOnce(Outcome<T>) + Send + 'static) -> Resolver<T> {
-    Resolver { repr: ResolverRepr::Callback(Some(Box::new(f))) }
+/// A resolver whose resolution is handed to `f` instead of a channel,
+/// recording its lifecycle under `span` (pass the parent request's span
+/// so every op of a request shares one trace identity).
+pub(crate) fn callback_resolver<T>(
+    span: SpanId,
+    f: impl FnOnce(Outcome<T>) + Send + 'static,
+) -> Resolver<T> {
+    Resolver { repr: ResolverRepr::Callback(Some(Box::new(f))), span }
 }
 
 impl<T> Resolver<T> {
     /// Resolve the paired ticket and wake its waiter (parked thread or
     /// polled waker alike).
     pub fn resolve(mut self, outcome: Outcome<T>) {
+        let t0 = ddrs_trace::now_ns();
+        let err = outcome.is_err();
         match &mut self.repr {
             ResolverRepr::Channel(shared) => {
                 fire(&shared.take().expect("resolver used twice"), outcome);
             }
             ResolverRepr::Callback(f) => (f.take().expect("resolver used twice"))(outcome),
         }
+        ddrs_trace::complete(self.span, Stage::Resolve, t0, err);
+    }
+
+    /// The trace span this resolver reports under ([`SpanId::NONE`]
+    /// when span recording is compiled out).
+    pub fn span(&self) -> SpanId {
+        self.span
     }
 }
 
@@ -224,17 +242,26 @@ impl<T> std::fmt::Debug for Resolver<T> {
 
 impl<T> Drop for Resolver<T> {
     fn drop(&mut self) {
-        match &mut self.repr {
-            ResolverRepr::Channel(shared) => {
-                if let Some(shared) = shared.take() {
+        let t0 = ddrs_trace::now_ns();
+        let fired = match &mut self.repr {
+            ResolverRepr::Channel(shared) => match shared.take() {
+                Some(shared) => {
                     fire(&shared, Err(ServiceError::ShuttingDown));
+                    true
                 }
-            }
-            ResolverRepr::Callback(f) => {
-                if let Some(f) = f.take() {
+                None => false,
+            },
+            ResolverRepr::Callback(f) => match f.take() {
+                Some(f) => {
                     f(Err(ServiceError::ShuttingDown));
+                    true
                 }
-            }
+                None => false,
+            },
+        };
+        if fired {
+            // An abandoned request still closes its span — as an error.
+            ddrs_trace::complete(self.span, Stage::Resolve, t0, true);
         }
     }
 }
@@ -287,6 +314,7 @@ impl<T> Ticket<T> {
     }
 
     fn wait_until(self, deadline: Instant) -> WaitFor<T> {
+        let span = self.span;
         match self.repr {
             Repr::Direct(shared) => {
                 let mut state = shared.state.lock();
@@ -298,7 +326,10 @@ impl<T> Ticket<T> {
                             let now = Instant::now();
                             if now >= deadline {
                                 drop(state);
-                                return WaitFor::TimedOut(Ticket { repr: Repr::Direct(shared) });
+                                return WaitFor::TimedOut(Ticket {
+                                    repr: Repr::Direct(shared),
+                                    span,
+                                });
                             }
                             state = shared.cv.wait_timeout(state, deadline - now).0;
                         }
@@ -308,7 +339,7 @@ impl<T> Ticket<T> {
             }
             Repr::Mapped(node) => match node.wait_until(deadline) {
                 Ok(out) => WaitFor::Ready(out),
-                Err(node) => WaitFor::TimedOut(Ticket { repr: Repr::Mapped(node) }),
+                Err(node) => WaitFor::TimedOut(Ticket { repr: Repr::Mapped(node), span }),
             },
         }
     }
@@ -323,6 +354,14 @@ impl<T> Ticket<T> {
             WaitFor::Ready(out) => Ok(out),
             WaitFor::TimedOut(t) => Err(t),
         }
+    }
+
+    /// The trace span every lifecycle event of this request is recorded
+    /// under — pass it to [`ddrs_trace::Trace::span_events`] to pull one
+    /// request's history out of a capture. [`SpanId::NONE`] when span
+    /// recording is compiled out; mapping a ticket preserves the span.
+    pub fn span(&self) -> SpanId {
+        self.span
     }
 
     /// True once the backend has resolved this request (`wait` will not
@@ -344,7 +383,11 @@ impl<T> Ticket<T> {
     where
         T: Send + 'static,
     {
-        Ticket { repr: Repr::Mapped(Box::new(MapNode { inner: Some(self), f: Some(Box::new(f)) })) }
+        let span = self.span;
+        Ticket {
+            repr: Repr::Mapped(Box::new(MapNode { inner: Some(self), f: Some(Box::new(f)) })),
+            span,
+        }
     }
 
     /// Project a committed value, leaving the sequence number and the
@@ -451,10 +494,10 @@ mod tests {
     fn callback_resolver_fires_once_and_on_drop() {
         let hits = Arc::new(Mutex::new(Vec::new()));
         let h = Arc::clone(&hits);
-        let r = callback_resolver::<u64>(move |out| h.lock().unwrap().push(out));
+        let r = callback_resolver::<u64>(SpanId::fresh(), move |out| h.lock().unwrap().push(out));
         r.resolve(Ok(Commit { value: 5, seq: 1 }));
         let h = Arc::clone(&hits);
-        let r2 = callback_resolver::<u64>(move |out| h.lock().unwrap().push(out));
+        let r2 = callback_resolver::<u64>(SpanId::fresh(), move |out| h.lock().unwrap().push(out));
         drop(r2);
         assert_eq!(
             *hits.lock().unwrap(),

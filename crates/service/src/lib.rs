@@ -80,7 +80,7 @@
 
 mod stats;
 
-pub use stats::{Histogram, ServiceStats};
+pub use stats::{register_rollup, Histogram, ServiceStats};
 // The completion-handle machinery and the error vocabulary moved to the
 // unified client contract in `ddrs-client`; re-exported here so existing
 // `ddrs_service::{Ticket, ServiceError, ...}` paths keep working.
@@ -100,6 +100,7 @@ use ddrs_client::{PlannedOp, Request, Response};
 use ddrs_engine::QueryBatch;
 use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Semigroup, PAD_ID};
 use ddrs_sched::{gate_reads, Pending, SchedConfig, SchedCore, StopMode, Window};
+use ddrs_trace::Stage;
 
 /// Tuning knobs of the serving layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,6 +291,12 @@ impl<S: Semigroup, const D: usize> RangeStore<S, D> for Service<S, D> {
             n_ops,
             || {
                 let planned = req.plan();
+                // The request's lifecycle spans open here — admission is
+                // certain, so every Queue begin is matched by an End on
+                // some dispatch or failure path.
+                for op in &planned.ops {
+                    ddrs_trace::begin(op.span(), Stage::Queue);
+                }
                 ticket = Some(planned.ticket);
                 (planned.ops, planned.deadline, planned.min_seq)
             },
@@ -338,6 +345,19 @@ impl<S: Semigroup> ReadSlot<S> {
             ReadSlot::Report(_, r) => r.resolve(Err(e)),
         }
     }
+
+    fn span(&self) -> ddrs_trace::SpanId {
+        match self {
+            ReadSlot::Count(_, r) => r.span(),
+            ReadSlot::Agg(_, r) => r.span(),
+            ReadSlot::Report(_, r) => r.span(),
+        }
+    }
+}
+
+/// Whole microseconds between two instants (saturating at zero).
+fn us_between(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_micros() as u64
 }
 
 /// The scheduler body. The third element of the return value is the
@@ -363,6 +383,7 @@ fn scheduler_loop<S: Semigroup, const D: usize>(
                 // must also observe its effects in the telemetry.
                 inner.stats.lock().completed += rejected.len() as u64;
                 for p in rejected {
+                    ddrs_trace::end_err(p.op.span(), Stage::Queue);
                     p.op.fail(ServiceError::ShuttingDown);
                 }
                 return (machine, tree, poisoned);
@@ -379,6 +400,7 @@ fn scheduler_loop<S: Semigroup, const D: usize>(
                 st.completed += expired.len() as u64;
             }
             for p in expired {
+                ddrs_trace::end_err(p.op.span(), Stage::Queue);
                 p.op.fail(ServiceError::DeadlineExpired);
             }
         }
@@ -395,6 +417,7 @@ fn scheduler_loop<S: Semigroup, const D: usize>(
                 // ddrs-check: allow(unwrap) — gate_reads puts an op in
                 // `unmet` only when its min_seq bound exists and failed.
                 let required = p.min_seq.expect("partitioned on min_seq");
+                ddrs_trace::end_err(p.op.span(), Stage::Queue);
                 p.op.fail(ServiceError::Consistency { required, committed: next_seq });
             }
         }
@@ -420,9 +443,11 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
     batch: Vec<Pending<PlannedOp<S, D>>>,
     next_seq: &mut u64,
 ) {
+    let t_carve = Instant::now();
     let mut qb = QueryBatch::new(inner.sg);
     let mut slots: Vec<(ReadSlot<S>, Instant)> = Vec::with_capacity(batch.len());
     for p in batch {
+        ddrs_trace::transition(p.op.span(), Stage::Queue, Stage::Window);
         match p.op {
             PlannedOp::Count(rect, r) => {
                 slots.push((ReadSlot::Count(qb.count(rect), r), p.submitted))
@@ -439,8 +464,16 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
         }
     }
     let n = slots.len() as u64;
+    let t_run0 = Instant::now();
+    for (slot, _) in &slots {
+        ddrs_trace::transition(slot.span(), Stage::Window, Stage::MachineRun);
+    }
     let outcome = catch_unwind(AssertUnwindSafe(|| qb.try_execute_dynamic(machine, tree)));
     let run_stats = machine.take_stats();
+    let t_run1 = Instant::now();
+    for (slot, _) in &slots {
+        ddrs_trace::transition(slot.span(), Stage::MachineRun, Stage::Merge);
+    }
     {
         // Stats before resolution: a client that has observed its
         // response must also observe its effects in the telemetry.
@@ -454,13 +487,18 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
         }
         for (_, submitted) in &slots {
             st.latency_us.record(submitted.elapsed().as_micros() as u64);
+            st.stages.queue.record(us_between(*submitted, t_carve));
+            st.stages.window.record(us_between(t_carve, t_run0));
+            st.stages.machine_run.record(us_between(t_run0, t_run1));
         }
     }
+    let t_merge1 = Instant::now();
     match outcome {
         Ok(Ok(mut out)) => {
             for (slot, _) in slots {
                 let seq = *next_seq;
                 *next_seq += 1;
+                ddrs_trace::end(slot.span(), Stage::Merge);
                 match slot {
                     ReadSlot::Count(i, r) => r.resolve(Ok(Commit { value: out.counts[i], seq })),
                     ReadSlot::Agg(i, r) => {
@@ -475,6 +513,7 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
         Ok(Err(e)) => {
             let err = ServiceError::Machine(e.to_string());
             for (slot, _) in slots {
+                ddrs_trace::end_err(slot.span(), Stage::Merge);
                 slot.fail(err.clone());
             }
         }
@@ -484,8 +523,21 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
             // reads do not mutate the store.
             let err = ServiceError::Machine(panic_message(&*payload));
             for (slot, _) in slots {
+                ddrs_trace::end_err(slot.span(), Stage::Merge);
                 slot.fail(err.clone());
             }
+        }
+    }
+    // Merge/resolve attribution lands after the tickets fired — a
+    // deliberate relaxation of stats-before-resolve for these two
+    // breakdown columns only: their duration *is* the resolution work,
+    // so it cannot precede it.
+    let t_resolve1 = Instant::now();
+    {
+        let mut st = inner.stats.lock();
+        for _ in 0..n {
+            st.stages.merge.record(us_between(t_run1, t_merge1));
+            st.stages.resolve.record(us_between(t_merge1, t_resolve1));
         }
     }
 }
@@ -510,7 +562,9 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
     let mut tree_deleted: Vec<u32> = Vec::new();
     let mut outcomes: Vec<(Resolver<()>, Result<(), BuildError>, Instant)> =
         Vec::with_capacity(batch.len());
+    let t_carve = Instant::now();
     for p in batch {
+        ddrs_trace::transition(p.op.span(), Stage::Queue, Stage::Window);
         match p.op {
             PlannedOp::Insert(pts, r) => {
                 let mut verdict: Result<(), BuildError> = Ok(());
@@ -561,6 +615,10 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
     }
 
     let inserts: Vec<Point<D>> = delta.values().filter_map(|v| *v).collect();
+    let t_apply0 = Instant::now();
+    for (r, _, _) in &outcomes {
+        ddrs_trace::transition(r.span(), Stage::Window, Stage::MachineRun);
+    }
     let applied = catch_unwind(AssertUnwindSafe(|| -> Result<(), BuildError> {
         if !tree_deleted.is_empty() {
             tree.delete_batch(machine, &tree_deleted)?;
@@ -571,22 +629,32 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
         Ok(())
     }));
     let run_stats = machine.take_stats();
+    let t_apply1 = Instant::now();
+    for (r, _, _) in &outcomes {
+        ddrs_trace::transition(r.span(), Stage::MachineRun, Stage::Merge);
+    }
+    let n = outcomes.len() as u64;
     {
         // Stats before resolution: a client that has observed its
         // response must also observe its effects in the telemetry.
         let mut st = inner.stats.lock();
-        st.completed += outcomes.len() as u64;
+        st.completed += n;
         st.machine.absorb(&run_stats);
         if run_stats.runs > 0 {
             st.write_epochs += 1;
         }
         for (_, _, submitted) in &outcomes {
             st.latency_us.record(submitted.elapsed().as_micros() as u64);
+            st.stages.queue.record(us_between(*submitted, t_carve));
+            st.stages.window.record(us_between(t_carve, t_apply0));
+            st.stages.machine_run.record(us_between(t_apply0, t_apply1));
         }
     }
+    let t_merge1 = Instant::now();
     match applied {
         Ok(Ok(())) => {
             for (r, verdict, _) in outcomes {
+                ddrs_trace::end(r.span(), Stage::Merge);
                 match verdict {
                     Ok(()) => {
                         let seq = *next_seq;
@@ -611,8 +679,19 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
             inner.core.poison();
             let err = ServiceError::Machine(msg);
             for (r, _, _) in outcomes {
+                ddrs_trace::end_err(r.span(), Stage::Merge);
                 r.resolve(Err(err.clone()));
             }
+        }
+    }
+    // Same deliberate relaxation as the read path: merge/resolve columns
+    // measure the resolution work itself, so they land after it.
+    let t_resolve1 = Instant::now();
+    {
+        let mut st = inner.stats.lock();
+        for _ in 0..n {
+            st.stages.merge.record(us_between(t_apply1, t_merge1));
+            st.stages.resolve.record(us_between(t_merge1, t_resolve1));
         }
     }
 }

@@ -1,118 +1,18 @@
 //! Service telemetry: bounded-memory counters, histograms and rollups.
 //!
 //! Everything here is O(1) space per service regardless of traffic
-//! volume: scalar counters, fixed 64-bucket logarithmic histograms, and
-//! the `ddrs-cgm` [`RunStatsRollup`] for the machine-side quantities
-//! (runs, supersteps, max h-relation) the paper's bounds are stated in.
+//! volume: scalar counters, the fixed 64-bucket logarithmic
+//! [`Histogram`] (now shared workspace-wide from `ddrs-trace`), the
+//! always-on per-stage latency breakdown, and the `ddrs-cgm`
+//! [`RunStatsRollup`] for the machine-side quantities (runs, supersteps,
+//! max h-relation) the paper's bounds are stated in.
 
 use ddrs_cgm::RunStatsRollup;
-
-/// A fixed-size base-2 histogram over `u64` samples.
-///
-/// Bucket `i` in `1..63` holds samples whose bit length is `i` (i.e.
-/// values in `[2^(i-1), 2^i)`); bucket 0 holds zeros; bucket 63 is the
-/// *saturating* top bucket and holds everything in `[2^62, u64::MAX]`
-/// (both 63- and 64-bit samples), with upper bound reported as
-/// `u64::MAX`. Quantiles are therefore resolved to within a factor of
-/// two — the right fidelity for latency tails and batch-size
-/// distributions at O(1) space.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Histogram {
-    buckets: [u64; 64],
-    count: u64,
-    sum: u64,
-}
-
-/// Upper bound reported for bucket `i`: 0 for the zero bucket,
-/// `2^i - 1` for the interior buckets, `u64::MAX` for the saturating
-/// top bucket.
-fn bucket_upper(i: usize) -> u64 {
-    match i {
-        0 => 0,
-        63 => u64::MAX,
-        _ => (1u64 << i) - 1,
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram { buckets: [0; 64], count: 0, sum: 0 }
-    }
-}
-
-impl Histogram {
-    /// Record one sample. Public so harnesses comparing against the
-    /// service (e.g. the `repro` experiments) can measure their own
-    /// baselines with the same estimator the service telemetry uses.
-    pub fn record(&mut self, v: u64) {
-        let idx = (u64::BITS - v.leading_zeros()) as usize;
-        self.buckets[idx.min(63)] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(v);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Exact mean of the recorded samples (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Upper bound of the bucket containing the `q`-quantile sample
-    /// (`q` clamped to `[0, 1]`).
-    ///
-    /// The bound is exclusive-rounded-down: a return of `2^i - 1` means
-    /// the quantile sample was in `[2^(i-1), 2^i)`; a return of
-    /// `u64::MAX` means it landed in the saturating top bucket
-    /// `[2^62, u64::MAX]`.
-    ///
-    /// Edge cases are pinned, not unspecified: an **empty** histogram
-    /// returns 0 for every `q` (there is no sample to bound, and 0 is
-    /// the identity the dashboards expect), and a **single-sample**
-    /// histogram returns that sample's bucket bound for every `q` —
-    /// p50 and p99 of one observation are the observation.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_upper(i);
-            }
-        }
-        u64::MAX
-    }
-
-    /// The non-empty buckets as `(upper_bound, count)` pairs, ascending.
-    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (bucket_upper(i), c))
-            .collect()
-    }
-
-    /// Fold another histogram into this one (used by the sharded
-    /// front-end to combine per-shard telemetry).
-    pub fn absorb(&mut self, other: &Histogram) {
-        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *b += o;
-        }
-        self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
-    }
-}
+// The histogram estimator moved to `ddrs-trace` (the unified telemetry
+// vocabulary); re-exported so existing `ddrs_service::Histogram` paths
+// keep working.
+pub use ddrs_trace::Histogram;
+use ddrs_trace::{MetricsRegistry, StageBreakdown};
 
 /// A point-in-time snapshot of the service's telemetry.
 ///
@@ -143,6 +43,10 @@ pub struct ServiceStats {
     pub batch_sizes: Histogram,
     /// Distribution of request latencies, submit → response, in µs.
     pub latency_us: Histogram,
+    /// Where dispatched ops spent their time, per lifecycle stage
+    /// (queue / window / machine-run / merge / resolve). Always
+    /// recorded — plain counters, independent of span recording.
+    pub stages: StageBreakdown,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
 }
@@ -172,103 +76,49 @@ impl ServiceStats {
     pub fn p99_latency_us(&self) -> u64 {
         self.latency_us.quantile(0.99)
     }
+
+    /// Publish this snapshot into a [`MetricsRegistry`] under
+    /// `<prefix>.*` — the unified export path shared with the sharded
+    /// front-end and the CGM rollup.
+    pub fn register_into(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.set_counter(&format!("{prefix}.submitted"), self.submitted);
+        registry.set_counter(&format!("{prefix}.completed"), self.completed);
+        registry.set_counter(&format!("{prefix}.overloaded"), self.overloaded);
+        registry.set_counter(&format!("{prefix}.expired"), self.expired);
+        registry.set_counter(&format!("{prefix}.dispatches"), self.dispatches);
+        registry.set_counter(&format!("{prefix}.write_epochs"), self.write_epochs);
+        registry.set_counter(&format!("{prefix}.queries_coalesced"), self.queries_coalesced);
+        registry.set_counter(&format!("{prefix}.queue_depth"), self.queue_depth as u64);
+        registry.set_gauge(&format!("{prefix}.coalescing_factor"), self.coalescing_factor());
+        registry.set_histogram(&format!("{prefix}.batch_sizes"), self.batch_sizes.clone());
+        registry.set_histogram(&format!("{prefix}.latency_us"), self.latency_us.clone());
+        self.stages.register_into(registry, &format!("{prefix}.stage"));
+        register_rollup(&self.machine, registry, &format!("{prefix}.machine"));
+    }
+}
+
+/// Publish a CGM [`RunStatsRollup`] into a [`MetricsRegistry`] under
+/// `<prefix>.*`.
+pub fn register_rollup(rollup: &RunStatsRollup, registry: &MetricsRegistry, prefix: &str) {
+    registry.set_counter(&format!("{prefix}.runs"), rollup.runs);
+    registry.set_counter(&format!("{prefix}.supersteps"), rollup.supersteps);
+    registry.set_counter(&format!("{prefix}.max_h"), rollup.max_h);
+    registry.set_counter(&format!("{prefix}.total_words"), rollup.total_words);
+    registry.set_gauge(&format!("{prefix}.rounds_per_run"), rollup.rounds_per_run());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ddrs_trace::MetricValue;
 
     #[test]
-    fn histogram_buckets_and_mean() {
-        let mut h = Histogram::default();
-        for v in [0, 1, 1, 3, 100] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 5);
-        assert_eq!(h.mean(), 21.0);
-        // 0 → bucket 0; 1,1 → [1,2); 3 → [2,4); 100 → [64,128).
-        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 2), (3, 1), (127, 1)]);
-    }
-
-    #[test]
-    fn histogram_quantiles() {
-        let mut h = Histogram::default();
-        for _ in 0..99 {
-            h.record(10); // [8,16) → upper bound 15
-        }
-        h.record(1000); // [512,1024) → upper bound 1023
-        assert_eq!(h.quantile(0.5), 15);
-        assert_eq!(h.quantile(0.98), 15);
-        assert_eq!(h.quantile(1.0), 1023);
-        assert_eq!(Histogram::default().quantile(0.5), 0);
-    }
-
-    /// Pin the empty-histogram contract: every quantile of zero samples
-    /// is 0 (previously unspecified).
-    #[test]
-    fn empty_histogram_quantiles_are_zero() {
-        let h = Histogram::default();
-        for q in [0.0, 0.5, 0.99, 1.0] {
-            assert_eq!(h.quantile(q), 0);
-        }
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.count(), 0);
-        assert!(h.nonzero_buckets().is_empty());
+    fn empty_stats_quantiles_are_zero() {
         let s = ServiceStats::default();
         assert_eq!(s.p50_latency_us(), 0);
         assert_eq!(s.p99_latency_us(), 0);
-    }
-
-    /// Pin the single-sample contract: every quantile is the sample's
-    /// bucket bound (p50 and p99 of one observation are the observation).
-    #[test]
-    fn single_sample_quantiles_are_the_sample() {
-        let mut h = Histogram::default();
-        h.record(10); // [8,16) → upper bound 15
-        for q in [0.0, 0.001, 0.5, 0.99, 1.0] {
-            assert_eq!(h.quantile(q), 15);
-        }
-        let mut z = Histogram::default();
-        z.record(0);
-        for q in [0.0, 0.5, 1.0] {
-            assert_eq!(z.quantile(q), 0);
-        }
-    }
-
-    /// Pin the saturating top bucket: 63- and 64-bit samples share
-    /// bucket 63, whose reported upper bound is u64::MAX (previously it
-    /// claimed 2^63 - 1, *below* some of its samples).
-    #[test]
-    fn top_bucket_saturates_with_honest_upper_bound() {
-        let mut h = Histogram::default();
-        h.record(u64::MAX);
-        h.record(1u64 << 63);
-        h.record((1u64 << 62) + 1);
-        assert_eq!(h.nonzero_buckets(), vec![(u64::MAX, 3)]);
-        assert_eq!(h.quantile(0.5), u64::MAX);
-        assert_eq!(h.quantile(1.0), u64::MAX);
-        // The largest non-saturating bucket still reports 2^62 - 1.
-        let mut g = Histogram::default();
-        g.record((1u64 << 62) - 1);
-        assert_eq!(g.nonzero_buckets(), vec![((1u64 << 62) - 1, 1)]);
-        // Sum saturates instead of wrapping.
-        assert_eq!(h.mean(), u64::MAX as f64 / 3.0);
-    }
-
-    #[test]
-    fn absorb_merges_buckets_counts_and_sums() {
-        let mut a = Histogram::default();
-        let mut b = Histogram::default();
-        for v in [0, 1, 100] {
-            a.record(v);
-        }
-        for v in [1, 3, u64::MAX] {
-            b.record(v);
-        }
-        a.absorb(&b);
-        assert_eq!(a.count(), 6);
-        assert_eq!(a.nonzero_buckets(), vec![(0, 1), (1, 2), (3, 1), (127, 1), (u64::MAX, 1)]);
-        assert_eq!(a.quantile(1.0), u64::MAX);
+        assert_eq!(s.latency_us.max(), 0);
+        assert_eq!(s.latency_us.mean(), 0.0);
     }
 
     #[test]
@@ -282,5 +132,28 @@ mod tests {
         s.batch_sizes.record(40);
         assert_eq!(s.coalescing_factor(), 40.0);
         assert_eq!(s.mean_batch_size(), 40.0);
+    }
+
+    #[test]
+    fn register_into_publishes_counters_stages_and_rollup() {
+        let mut s = ServiceStats { submitted: 7, completed: 7, ..Default::default() };
+        s.machine.runs = 2;
+        s.machine.supersteps = 6;
+        s.latency_us.record(100);
+        s.stages.queue.record(40);
+        let reg = MetricsRegistry::new();
+        s.register_into(&reg, "service");
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("service.submitted"), Some(&MetricValue::Counter(7)));
+        assert_eq!(snap.get("service.machine.runs"), Some(&MetricValue::Counter(2)));
+        assert_eq!(snap.get("service.stage.queue.max_us"), Some(&MetricValue::Counter(40)));
+        match snap.get("service.latency_us") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count(), 1),
+            other => panic!("latency_us missing or mistyped: {other:?}"),
+        }
+        assert!(matches!(
+            snap.get("service.machine.rounds_per_run"),
+            Some(MetricValue::Gauge(g)) if (*g - 3.0).abs() < 1e-9
+        ));
     }
 }

@@ -140,6 +140,7 @@ use ddrs_engine::{BatchResults, QueryBatch};
 use ddrs_rangetree::semigroup::comb_opt;
 use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Rect, Semigroup, PAD_ID};
 use ddrs_sched::{gate_reads, Pending, SchedConfig, SchedCore, StopMode, Window};
+use ddrs_trace::{SpanId, Stage};
 
 use partition::Partitioner;
 use worker::{spawn_worker, ReadComplete, ShardJob, SplitReply, WorkerHandle, WriteReply};
@@ -226,6 +227,18 @@ impl<S: Semigroup, const D: usize> Op<S, D> {
             Op::Split(_, r) => r.resolve(Err(e)),
         }
     }
+
+    fn span(&self) -> SpanId {
+        match self {
+            Op::Client(op) => op.span(),
+            Op::Split(_, r) => r.span(),
+        }
+    }
+}
+
+/// Whole microseconds between two instants (saturating at zero).
+fn us_between(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_micros() as u64
 }
 
 struct Inner<S: Semigroup, const D: usize> {
@@ -415,7 +428,16 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
     ) -> Result<(), SubmitError> {
         self.inner.core.submit_ops(
             n_ops,
-            make,
+            || {
+                let (ops, deadline, min_seq) = make();
+                // Lifecycle spans open here — admission is certain, so
+                // every Queue begin is matched by an End on some
+                // dispatch or failure path.
+                for op in &ops {
+                    ddrs_trace::begin(op.span(), Stage::Queue);
+                }
+                (ops, deadline, min_seq)
+            },
             || self.inner.stats.lock().submitted += n_ops as u64,
             || self.inner.stats.lock().overloaded += 1,
         )
@@ -593,6 +615,7 @@ fn router_loop<S: Semigroup, const D: usize>(
             Window::Shutdown { rejected, .. } => {
                 inner.stats.lock().completed += rejected.len() as u64;
                 for p in rejected {
+                    ddrs_trace::end_err(p.op.span(), Stage::Queue);
                     p.op.fail(ServiceError::ShuttingDown);
                 }
                 // stop_workers joins every worker thread, so all
@@ -611,6 +634,7 @@ fn router_loop<S: Semigroup, const D: usize>(
                 st.completed += expired.len() as u64;
             }
             for p in expired {
+                ddrs_trace::end_err(p.op.span(), Stage::Queue);
                 p.op.fail(ServiceError::DeadlineExpired);
             }
         }
@@ -624,6 +648,7 @@ fn router_loop<S: Semigroup, const D: usize>(
                 // ddrs-check: allow(unwrap) — `gate_reads` puts an op in
                 // `unmet` only when it carries a `min_seq` bound.
                 let required = p.min_seq.expect("partitioned on min_seq");
+                ddrs_trace::end_err(p.op.span(), Stage::Queue);
                 p.op.fail(ServiceError::Consistency { required, committed: router.next_seq });
             }
         }
@@ -638,6 +663,7 @@ fn router_loop<S: Semigroup, const D: usize>(
                 else {
                     unreachable!("split batch without a split op")
                 };
+                ddrs_trace::transition(resolver.span(), Stage::Queue, Stage::Window);
                 let outcome = do_split(inner, &mut router, donor);
                 {
                     let mut st = inner.stats.lock();
@@ -651,9 +677,13 @@ fn router_loop<S: Semigroup, const D: usize>(
                     Ok(report) => {
                         let seq = router.next_seq;
                         router.next_seq += 1;
+                        ddrs_trace::end(resolver.span(), Stage::Window);
                         resolver.resolve(Ok(Commit { value: report, seq }));
                     }
-                    Err(e) => resolver.resolve(Err(ServiceError::Machine(e))),
+                    Err(e) => {
+                        ddrs_trace::end_err(resolver.span(), Stage::Window);
+                        resolver.resolve(Err(ServiceError::Machine(e)));
+                    }
                 }
             }
         }
@@ -687,6 +717,9 @@ fn stop_workers<S: Semigroup, const D: usize>(router: Router<S, D>) -> Vec<Shard
 struct CrossOp<V> {
     seq: u64,
     submitted: Instant,
+    /// The request's trace span (the resolver's, cached outside the
+    /// state lock so non-final arrivals never need the mutex for it).
+    span: SpanId,
     /// Lock class `shard.cross` — the innermost shard lock: workers take
     /// it while folding partials, sometimes with `stats` already held.
     state: TrackedMutex<CrossState<V>>,
@@ -710,6 +743,7 @@ impl<V: Default> CrossOp<V> {
         Arc::new(CrossOp {
             seq,
             submitted,
+            span: resolver.span(),
             state: TrackedMutex::new(
                 "shard.cross",
                 CrossState { remaining: fanout, acc, error: None, resolver: Some(resolver) },
@@ -795,6 +829,13 @@ impl<S: Semigroup, const D: usize> ShardPlan<S, D> {
 struct WindowTally {
     routed: u64,
     counted: AtomicBool,
+    /// When the router carved this window (Queue → Window boundary of
+    /// every op it routed) — the always-on stage-breakdown clock shared
+    /// by all shard callbacks.
+    carve: Instant,
+    /// When the router finished planning and began the scatter
+    /// (Window → MachineRun boundary).
+    scatter: Instant,
 }
 
 /// Plan a coalesced read window into at most one fused sub-batch per
@@ -808,16 +849,19 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
     router: &mut Router<S, D>,
     batch: Vec<Pending<Op<S, D>>>,
 ) {
+    let t_carve = Instant::now();
     let shards = router.shards();
     let mut plans: Vec<ShardPlan<S, D>> = (0..shards).map(|_| ShardPlan::empty()).collect();
     // Ops settled at planning time (degenerate rects answered locally,
     // poisoned fan-outs failed) and routing telemetry, accounted in one
     // stats acquisition below.
-    let mut settled_latency: Vec<u64> = Vec::new();
+    let mut settled: Vec<Instant> = Vec::new();
+    let mut routed_spans: Vec<SpanId> = Vec::new();
     let mut routed_ops = 0u64;
     let mut shards_touched = 0u64;
 
     for p in batch {
+        ddrs_trace::transition(p.op.span(), Stage::Queue, Stage::Window);
         let Op::Client(op) = p.op else { unreachable!("carve() mixed non-reads into a read run") };
         // ddrs-check: allow(unwrap) — carve() emits kind-homogeneous
         // runs, and every read op carries an interval.
@@ -829,23 +873,26 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
             // global commit order without touching any shard.
             let seq = router.next_seq;
             router.next_seq += 1;
+            ddrs_trace::end(op.span(), Stage::Window);
             match op {
                 PlannedOp::Count(_, r) => r.resolve(Ok(Commit { value: 0, seq })),
                 PlannedOp::Aggregate(_, r) => r.resolve(Ok(Commit { value: None, seq })),
                 PlannedOp::Report(_, r) => r.resolve(Ok(Commit { value: Vec::new(), seq })),
                 _ => unreachable!("read run contains a non-read op"),
             }
-            settled_latency.push(p.submitted.elapsed().as_micros() as u64);
+            settled.push(p.submitted);
             continue;
         }
         if let Some(bad) = fan.clone().find(|&s| router.poisoned[s].is_some()) {
             let reason = router.poisoned[bad].clone().unwrap_or_default();
+            ddrs_trace::end_err(op.span(), Stage::Window);
             op.fail(ServiceError::Machine(format!("shard {bad} is poisoned: {reason}")));
-            settled_latency.push(p.submitted.elapsed().as_micros() as u64);
+            settled.push(p.submitted);
             continue;
         }
         let seq = router.next_seq;
         router.next_seq += 1;
+        routed_spans.push(op.span());
         routed_ops += 1;
         shards_touched += n as u64;
         match op {
@@ -896,15 +943,24 @@ fn dispatch_reads<S: Semigroup, const D: usize>(
         let mut st = inner.stats.lock();
         st.read_ops_routed += routed_ops;
         st.read_shards_touched += shards_touched;
-        st.completed += settled_latency.len() as u64;
-        for l in settled_latency {
-            st.latency_us.record(l);
+        st.completed += settled.len() as u64;
+        for t0 in settled {
+            st.latency_us.record(t0.elapsed().as_micros() as u64);
+            st.stages.queue.record(us_between(t0, t_carve));
         }
     }
 
     // Scatter every touched shard's sub-batch; the workers run them
     // concurrently and resolve the tickets themselves.
-    let tally = Arc::new(WindowTally { routed: routed_ops, counted: AtomicBool::new(false) });
+    for sp in &routed_spans {
+        ddrs_trace::transition(*sp, Stage::Window, Stage::MachineRun);
+    }
+    let tally = Arc::new(WindowTally {
+        routed: routed_ops,
+        counted: AtomicBool::new(false),
+        carve: t_carve,
+        scatter: Instant::now(),
+    });
     for (s, plan) in plans.into_iter().enumerate() {
         if plan.len() == 0 {
             continue;
@@ -959,6 +1015,7 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
     tally: &WindowTally,
 ) {
     let sg = inner.sg;
+    let settle_now = Instant::now();
     // Ticket resolutions decided in the critical section below, run
     // after it ends.
     let mut resolutions: Vec<Box<dyn FnOnce()>> = Vec::new();
@@ -979,6 +1036,9 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
         ($submitted:expr) => {
             st.completed += 1;
             st.latency_us.record($submitted.elapsed().as_micros() as u64);
+            st.stages.queue.record(us_between($submitted, tally.carve));
+            st.stages.window.record(us_between(tally.carve, tally.scatter));
+            st.stages.machine_run.record(us_between(tally.scatter, settle_now));
         };
     }
     match result {
@@ -988,17 +1048,26 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
                 match slot {
                     Slot::Solo(r, seq, t0) => {
                         done!(t0);
+                        ddrs_trace::transition(r.span(), Stage::MachineRun, Stage::Merge);
                         resolutions.push(Box::new(move || {
+                            ddrs_trace::end(r.span(), Stage::Merge);
                             r.resolve(Ok(Commit { value: part, seq }));
                         }));
                     }
                     Slot::Cross(cross) => {
                         if let Some((r, acc, err)) = cross.fold(|acc| *acc += part) {
                             done!(cross.submitted);
+                            ddrs_trace::transition(cross.span, Stage::MachineRun, Stage::Merge);
                             let seq = cross.seq;
                             resolutions.push(Box::new(move || match err {
-                                None => r.resolve(Ok(Commit { value: acc, seq })),
-                                Some(e) => r.resolve(Err(ServiceError::Machine(e))),
+                                None => {
+                                    ddrs_trace::end(r.span(), Stage::Merge);
+                                    r.resolve(Ok(Commit { value: acc, seq }));
+                                }
+                                Some(e) => {
+                                    ddrs_trace::end_err(r.span(), Stage::Merge);
+                                    r.resolve(Err(ServiceError::Machine(e)));
+                                }
                             }));
                         }
                     }
@@ -1008,7 +1077,9 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
                 match slot {
                     Slot::Solo(r, seq, t0) => {
                         done!(t0);
+                        ddrs_trace::transition(r.span(), Stage::MachineRun, Stage::Merge);
                         resolutions.push(Box::new(move || {
+                            ddrs_trace::end(r.span(), Stage::Merge);
                             r.resolve(Ok(Commit { value: part, seq }));
                         }));
                     }
@@ -1017,10 +1088,17 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
                             |acc: &mut Option<S::Val>| *acc = comb_opt(&sg, acc.take(), part);
                         if let Some((r, acc, err)) = cross.fold(fold) {
                             done!(cross.submitted);
+                            ddrs_trace::transition(cross.span, Stage::MachineRun, Stage::Merge);
                             let seq = cross.seq;
                             resolutions.push(Box::new(move || match err {
-                                None => r.resolve(Ok(Commit { value: acc, seq })),
-                                Some(e) => r.resolve(Err(ServiceError::Machine(e))),
+                                None => {
+                                    ddrs_trace::end(r.span(), Stage::Merge);
+                                    r.resolve(Ok(Commit { value: acc, seq }));
+                                }
+                                Some(e) => {
+                                    ddrs_trace::end_err(r.span(), Stage::Merge);
+                                    r.resolve(Err(ServiceError::Machine(e)));
+                                }
                             }));
                         }
                     }
@@ -1030,13 +1108,16 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
                 match slot {
                     Slot::Solo(r, seq, t0) => {
                         done!(t0);
+                        ddrs_trace::transition(r.span(), Stage::MachineRun, Stage::Merge);
                         resolutions.push(Box::new(move || {
+                            ddrs_trace::end(r.span(), Stage::Merge);
                             r.resolve(Ok(Commit { value: part, seq }));
                         }));
                     }
                     Slot::Cross(cross) => {
                         if let Some((r, mut acc, err)) = cross.fold(|acc| acc.extend(part)) {
                             done!(cross.submitted);
+                            ddrs_trace::transition(cross.span, Stage::MachineRun, Stage::Merge);
                             let seq = cross.seq;
                             resolutions.push(Box::new(move || match err {
                                 None => {
@@ -1044,9 +1125,13 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
                                     // restores exactly the unsharded
                                     // ascending order.
                                     acc.sort_unstable();
+                                    ddrs_trace::end(r.span(), Stage::Merge);
                                     r.resolve(Ok(Commit { value: acc, seq }));
                                 }
-                                Some(e) => r.resolve(Err(ServiceError::Machine(e))),
+                                Some(e) => {
+                                    ddrs_trace::end_err(r.span(), Stage::Merge);
+                                    r.resolve(Err(ServiceError::Machine(e)));
+                                }
                             }));
                         }
                     }
@@ -1061,15 +1146,23 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
                         match slot {
                             Slot::Solo(r, _, t0) => {
                                 done!(t0);
+                                ddrs_trace::transition(r.span(), Stage::MachineRun, Stage::Merge);
                                 let m = msg.clone();
                                 resolutions.push(Box::new(move || {
+                                    ddrs_trace::end_err(r.span(), Stage::Merge);
                                     r.resolve(Err(ServiceError::Machine(m)));
                                 }));
                             }
                             Slot::Cross(cross) => {
                                 if let Some((r, _, err)) = cross.fail(msg.clone()) {
                                     done!(cross.submitted);
+                                    ddrs_trace::transition(
+                                        cross.span,
+                                        Stage::MachineRun,
+                                        Stage::Merge,
+                                    );
                                     resolutions.push(Box::new(move || {
+                                        ddrs_trace::end_err(r.span(), Stage::Merge);
                                         r.resolve(Err(ServiceError::Machine(
                                             // ddrs-check: allow(unwrap) —
                                             // `cross.fail` just recorded
@@ -1090,8 +1183,22 @@ fn finish_shard_reads<S: Semigroup, const D: usize>(
         }
     }
     drop(st);
+    let t_merge1 = Instant::now();
+    let n_res = resolutions.len() as u64;
     for resolve in resolutions {
         resolve();
+    }
+    if n_res > 0 {
+        let t_resolve1 = Instant::now();
+        // Merge/resolve durations are only knowable after the resolutions
+        // ran, so they land in a second stats acquisition — a deliberate
+        // relaxation of the stats-before-resolve rule: their duration IS
+        // the resolution work itself.
+        let mut st = inner.stats.lock();
+        for _ in 0..n_res {
+            st.stages.merge.record(us_between(settle_now, t_merge1));
+            st.stages.resolve.record(us_between(t_merge1, t_resolve1));
+        }
     }
 }
 
@@ -1113,6 +1220,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
     router: &mut Router<S, D>,
     batch: Vec<Pending<Op<S, D>>>,
 ) {
+    let t_carve = Instant::now();
     // Epoch delta: Some((pt, shard)) = live, inserted this epoch at
     // `shard`; None = dead. Ids absent defer to the ownership index.
     let mut delta: BTreeMap<u32, Option<(Point<D>, usize)>> = BTreeMap::new();
@@ -1120,6 +1228,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
     let mut outcomes: Vec<(Resolver<()>, Verdict, Instant)> = Vec::with_capacity(batch.len());
 
     for p in batch {
+        ddrs_trace::transition(p.op.span(), Stage::Queue, Stage::Window);
         match p.op {
             Op::Client(PlannedOp::Insert(pts, r)) => {
                 let mut verdict = Verdict::Commit;
@@ -1201,24 +1310,34 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
         .filter(|&s| !tree_deleted[s].is_empty() || !inserts[s].is_empty())
         .collect();
 
+    // `end_stage` is the lifecycle stage the ops' spans are in when the
+    // epoch's fate is decided: Window on the validation-only path (no
+    // machine ever ran), Merge once a machine run happened.
     let resolve_all = |outcomes: Vec<(Resolver<()>, Verdict, Instant)>,
                        router: &mut Router<S, D>,
-                       epoch_error: Option<&String>| {
+                       epoch_error: Option<&String>,
+                       end_stage: Stage| {
         for (r, verdict, _) in outcomes {
             match (epoch_error, verdict) {
                 (Some(e), Verdict::Commit | Verdict::Rejected(_)) => {
                     // The epoch aborted: nothing in it committed, and a
                     // sequential rejection computed against the aborted
                     // prefix is void too.
+                    ddrs_trace::end_err(r.span(), end_stage);
                     r.resolve(Err(ServiceError::Machine(format!("write epoch aborted: {e}"))));
                 }
                 (None, Verdict::Commit) => {
                     let seq = router.next_seq;
                     router.next_seq += 1;
+                    ddrs_trace::end(r.span(), end_stage);
                     r.resolve(Ok(Commit { value: (), seq }));
                 }
-                (None, Verdict::Rejected(e)) => r.resolve(Err(ServiceError::Rejected(e))),
+                (None, Verdict::Rejected(e)) => {
+                    ddrs_trace::end_err(r.span(), end_stage);
+                    r.resolve(Err(ServiceError::Rejected(e)));
+                }
                 (_, Verdict::Unavailable(msg)) => {
+                    ddrs_trace::end_err(r.span(), end_stage);
                     r.resolve(Err(ServiceError::Machine(msg)));
                 }
             }
@@ -1230,6 +1349,7 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
         st.completed += outcomes.len() as u64;
         for (_, _, submitted) in outcomes {
             st.latency_us.record(submitted.elapsed().as_micros() as u64);
+            st.stages.queue.record(us_between(*submitted, t_carve));
         }
     };
 
@@ -1237,7 +1357,14 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
         // Nothing reaches any machine: validation-only outcomes (empty
         // batches, rejections, no-op deletes) still commit/fail in order.
         record_latency(inner, &outcomes);
-        resolve_all(outcomes, router, None);
+        {
+            let t_window1 = Instant::now();
+            let mut st = inner.stats.lock();
+            for _ in 0..outcomes.len() {
+                st.stages.window.record(us_between(t_carve, t_window1));
+            }
+        }
+        resolve_all(outcomes, router, None, Stage::Window);
         router.publish(inner);
         return;
     }
@@ -1249,6 +1376,13 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
     // the point payloads instead of cloning them.
     let insert_ids: Vec<Vec<u32>> =
         inserts.iter().map(|pts| pts.iter().map(|p| p.id).collect()).collect();
+    // The whole run shares the epoch's fate — even a sequentially
+    // rejected op's resolution waits on the machine run — so every span
+    // advances through MachineRun together.
+    let t_scatter = Instant::now();
+    for (r, _, _) in &outcomes {
+        ddrs_trace::transition(r.span(), Stage::Window, Stage::MachineRun);
+    }
     let (tx, rx) = mpsc::channel::<WriteReply<D>>();
     for &s in &involved {
         let inject_fault = inner.faults.lock().remove(&s);
@@ -1281,12 +1415,34 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
         }
         replies[reply.shard] = Some(reply.result);
     }
-    if runs_total > 0 {
+    let t_gather = Instant::now();
+    for (r, _, _) in &outcomes {
+        ddrs_trace::transition(r.span(), Stage::MachineRun, Stage::Merge);
+    }
+    {
         let mut st = inner.stats.lock();
-        st.write_epochs += 1;
-        st.write_shards_touched += involved.len() as u64;
+        if runs_total > 0 {
+            st.write_epochs += 1;
+            st.write_shards_touched += involved.len() as u64;
+        }
+        for _ in 0..outcomes.len() {
+            st.stages.window.record(us_between(t_carve, t_scatter));
+            st.stages.machine_run.record(us_between(t_scatter, t_gather));
+        }
     }
     record_latency(inner, &outcomes);
+    let n_ops = outcomes.len() as u64;
+    // Merge/resolve durations are only knowable after the resolutions
+    // ran, so they land in a second stats acquisition — a deliberate
+    // relaxation of the stats-before-resolve rule: their duration IS the
+    // resolution work itself.
+    let record_tail = |inner: &Inner<S, D>, t_merge1: Instant, t_resolve1: Instant| {
+        let mut st = inner.stats.lock();
+        for _ in 0..n_ops {
+            st.stages.merge.record(us_between(t_gather, t_merge1));
+            st.stages.resolve.record(us_between(t_merge1, t_resolve1));
+        }
+    };
 
     let epoch_error: Option<String> = involved.iter().find_map(|&s| match &replies[s] {
         Some(Err(e)) => Some(format!("shard {s}: {e}")),
@@ -1317,7 +1473,9 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
             // it caused — in the telemetry.
             maybe_rebalance(inner, router);
             router.publish(inner);
-            resolve_all(outcomes, router, None);
+            let t_merge1 = Instant::now();
+            resolve_all(outcomes, router, None, Stage::Merge);
+            record_tail(inner, t_merge1, Instant::now());
         }
         Some(err) => {
             // Abort: poison the failed shards, roll the healthy
@@ -1367,7 +1525,9 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
             // client that has observed the abort must also observe the
             // quarantine in the telemetry.
             router.publish(inner);
-            resolve_all(outcomes, router, Some(&err));
+            let t_merge1 = Instant::now();
+            resolve_all(outcomes, router, Some(&err), Stage::Merge);
+            record_tail(inner, t_merge1, Instant::now());
         }
     }
 }

@@ -2,7 +2,9 @@
 //! per-shard breakdown, all bounded-memory.
 
 use ddrs_cgm::RunStatsRollup;
+use ddrs_service::register_rollup;
 use ddrs_service::Histogram;
+use ddrs_trace::{MetricsRegistry, StageBreakdown};
 
 /// Telemetry of one shard group, as seen by the router.
 #[derive(Debug, Clone, Default)]
@@ -60,6 +62,10 @@ pub struct ShardedStats {
     pub batch_sizes: Histogram,
     /// Distribution of request latencies, submit → response, in µs.
     pub latency_us: Histogram,
+    /// Where dispatched ops spent their time, per lifecycle stage
+    /// (queue / window / machine-run / merge / resolve). Always
+    /// recorded — plain counters, independent of span recording.
+    pub stages: StageBreakdown,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Current axis-0 slab boundaries (range partition only; rebalance
@@ -119,6 +125,38 @@ impl ShardedStats {
         let max = self.per_shard.iter().map(|s| s.live_points).max().unwrap_or(0);
         max as f64 * self.per_shard.len() as f64 / total as f64
     }
+
+    /// Publish this snapshot into a [`MetricsRegistry`] under
+    /// `<prefix>.*` — the same export vocabulary as
+    /// `ServiceStats::register_into`, plus the routing metrics and one
+    /// `<prefix>.shard.<i>.*` group per shard.
+    pub fn register_into(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.set_counter(&format!("{prefix}.submitted"), self.submitted);
+        registry.set_counter(&format!("{prefix}.completed"), self.completed);
+        registry.set_counter(&format!("{prefix}.overloaded"), self.overloaded);
+        registry.set_counter(&format!("{prefix}.expired"), self.expired);
+        registry.set_counter(&format!("{prefix}.dispatches"), self.dispatches);
+        registry.set_counter(&format!("{prefix}.write_epochs"), self.write_epochs);
+        registry.set_counter(&format!("{prefix}.queries_coalesced"), self.queries_coalesced);
+        registry.set_counter(&format!("{prefix}.read_ops_routed"), self.read_ops_routed);
+        registry.set_counter(&format!("{prefix}.rebalances"), self.rebalances);
+        registry.set_counter(&format!("{prefix}.rebalance_moved"), self.rebalance_moved);
+        registry.set_counter(&format!("{prefix}.queue_depth"), self.queue_depth as u64);
+        registry.set_counter(&format!("{prefix}.total_points"), self.total_points() as u64);
+        registry.set_gauge(&format!("{prefix}.coalescing_factor"), self.coalescing_factor());
+        registry.set_gauge(&format!("{prefix}.mean_read_fanout"), self.mean_read_fanout());
+        registry.set_gauge(&format!("{prefix}.skew"), self.skew());
+        registry.set_histogram(&format!("{prefix}.batch_sizes"), self.batch_sizes.clone());
+        registry.set_histogram(&format!("{prefix}.latency_us"), self.latency_us.clone());
+        self.stages.register_into(registry, &format!("{prefix}.stage"));
+        register_rollup(&self.machine, registry, &format!("{prefix}.machine"));
+        for (i, shard) in self.per_shard.iter().enumerate() {
+            let sp = format!("{prefix}.shard.{i}");
+            registry.set_counter(&format!("{sp}.live_points"), shard.live_points as u64);
+            registry.set_counter(&format!("{sp}.poisoned"), u64::from(shard.poisoned.is_some()));
+            register_rollup(&shard.machine, registry, &format!("{sp}.machine"));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -135,5 +173,32 @@ mod tests {
         ];
         assert_eq!(s.total_points(), 40);
         assert_eq!(s.skew(), 1.5);
+    }
+
+    #[test]
+    fn register_into_publishes_per_shard_groups() {
+        use ddrs_trace::MetricValue;
+        let mut s = ShardedStats {
+            submitted: 9,
+            read_ops_routed: 4,
+            read_shards_touched: 8,
+            ..Default::default()
+        };
+        s.stages.machine_run.record(250);
+        s.per_shard = vec![
+            ShardSnapshot { live_points: 3, ..Default::default() },
+            ShardSnapshot { live_points: 1, poisoned: Some("boom".into()), ..Default::default() },
+        ];
+        let reg = MetricsRegistry::new();
+        s.register_into(&reg, "sharded");
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("sharded.submitted"), Some(&MetricValue::Counter(9)));
+        assert_eq!(snap.get("sharded.shard.0.live_points"), Some(&MetricValue::Counter(3)));
+        assert_eq!(snap.get("sharded.shard.1.poisoned"), Some(&MetricValue::Counter(1)));
+        assert_eq!(snap.get("sharded.stage.machine_run.max_us"), Some(&MetricValue::Counter(250)));
+        assert!(matches!(
+            snap.get("sharded.mean_read_fanout"),
+            Some(MetricValue::Gauge(g)) if (*g - 2.0).abs() < 1e-9
+        ));
     }
 }

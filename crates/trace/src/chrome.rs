@@ -1,0 +1,141 @@
+//! chrome://tracing ("Trace Event Format") JSON export.
+//!
+//! Renders captured span events and per-rank machine timelines as one
+//! JSON document loadable at chrome://tracing or
+//! <https://ui.perfetto.dev>. Request spans appear under pid 1 — one
+//! row (tid) per span, one complete ("X") slice per stage — and machine
+//! timelines under pid 2, one row per rank with alternating compute and
+//! barrier-wait slices. All timestamps share the [`now_ns`](crate::now_ns)
+//! clock, so a request's `machine_run` slice visually brackets the
+//! supersteps that served it.
+
+use crate::{Event, EventKind, RankStep};
+
+fn push_complete(
+    out: &mut Vec<String>,
+    name: &str,
+    pid: u32,
+    tid: u64,
+    t0_ns: u64,
+    dur_ns: u64,
+    args: &str,
+) {
+    out.push(format!(
+        r#"{{"name":"{}","ph":"X","pid":{},"tid":{},"ts":{:.3},"dur":{:.3}{}}}"#,
+        name,
+        pid,
+        tid,
+        t0_ns as f64 / 1_000.0,
+        dur_ns as f64 / 1_000.0,
+        args
+    ));
+}
+
+/// Render `events` (and `timeline`, possibly empty) as a chrome
+/// trace-event JSON document.
+pub fn export(events: &[Event], timeline: &[RankStep]) -> String {
+    let mut slices: Vec<String> = Vec::new();
+
+    // Pair each stage's Begin with the next End of the same (span,
+    // stage). Events arrive timestamp-sorted from `Trace::capture`, so
+    // a linear scan with one open slot per (span, stage) suffices.
+    let mut open: Vec<(u64, u8, u64)> = Vec::new(); // (span, stage, t0)
+    for ev in events {
+        let key = (ev.span.0, ev.stage.index() as u8);
+        match ev.kind {
+            EventKind::Begin => {
+                open.push((key.0, key.1, ev.t_ns));
+            }
+            EventKind::End => {
+                if let Some(pos) = open.iter().position(|&(s, g, _)| (s, g) == key) {
+                    let (_, _, t0) = open.swap_remove(pos);
+                    let args = if ev.err { r#","args":{"err":true}"# } else { "" };
+                    push_complete(
+                        &mut slices,
+                        ev.stage.name(),
+                        1,
+                        ev.span.0,
+                        t0,
+                        ev.t_ns.saturating_sub(t0),
+                        args,
+                    );
+                }
+                // An End without a Begin (ring wrap ate the opener) is
+                // dropped: a truncated slice would misattribute time.
+            }
+        }
+    }
+
+    for step in timeline {
+        if step.compute_ns > 0 {
+            push_complete(
+                &mut slices,
+                &format!("compute:{}", step.label),
+                2,
+                step.rank as u64,
+                step.start_ns,
+                step.compute_ns,
+                "",
+            );
+        }
+        push_complete(
+            &mut slices,
+            &format!("barrier:{}", step.label),
+            2,
+            step.rank as u64,
+            step.start_ns + step.compute_ns,
+            step.barrier_ns,
+            "",
+        );
+    }
+
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", slices.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanId, Stage};
+
+    fn ev(span: u64, stage: Stage, kind: EventKind, t_ns: u64, err: bool) -> Event {
+        Event { span: SpanId(span), stage, kind, err, t_ns }
+    }
+
+    #[test]
+    fn pairs_begin_end_into_complete_slices() {
+        let events = vec![
+            ev(7, Stage::Queue, EventKind::Begin, 1_000, false),
+            ev(7, Stage::Queue, EventKind::End, 3_000, false),
+            ev(7, Stage::Resolve, EventKind::Begin, 3_000, false),
+            ev(7, Stage::Resolve, EventKind::End, 4_500, true),
+        ];
+        let json = export(&events, &[]);
+        assert!(json.contains(r#""name":"queue""#));
+        assert!(json.contains(r#""ts":1.000,"dur":2.000"#));
+        assert!(json.contains(r#""args":{"err":true}"#));
+        assert!(json.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn unmatched_end_is_dropped() {
+        let events = vec![ev(1, Stage::Merge, EventKind::End, 500, false)];
+        let json = export(&events, &[]);
+        assert!(!json.contains("merge"), "truncated slices must not render: {json}");
+    }
+
+    #[test]
+    fn timeline_rows_render_compute_and_barrier() {
+        let steps = vec![RankStep {
+            rank: 3,
+            round: 0,
+            label: "all_to_all",
+            start_ns: 10_000,
+            compute_ns: 2_000,
+            barrier_ns: 500,
+        }];
+        let json = export(&[], &steps);
+        assert!(json.contains(r#""name":"compute:all_to_all""#));
+        assert!(json.contains(r#""name":"barrier:all_to_all""#));
+        assert!(json.contains(r#""pid":2,"tid":3"#));
+    }
+}

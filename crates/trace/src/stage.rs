@@ -1,0 +1,172 @@
+//! Always-on per-stage latency aggregates.
+//!
+//! Unlike span recording (compiled out of default release builds),
+//! these aggregates are plain O(1)-space counters the serving stats
+//! embed unconditionally — they are what lets `BENCH_*.json` report a
+//! `stage_breakdown_us` section from an ordinary release run. One
+//! [`StageAgg`] per [`Stage`](crate::Stage), each carrying exact sum,
+//! count and maximum in microseconds.
+
+use crate::metrics::MetricsRegistry;
+
+/// Sum/count/max of one stage's durations, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageAgg {
+    /// Total microseconds spent in this stage across all recorded ops.
+    pub total_us: u64,
+    /// Number of ops that recorded this stage.
+    pub count: u64,
+    /// Largest single-op duration recorded for this stage.
+    pub max_us: u64,
+}
+
+impl StageAgg {
+    /// Record one op's duration in this stage.
+    pub fn record(&mut self, us: u64) {
+        self.total_us = self.total_us.saturating_add(us);
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Fold another aggregate into this one.
+    pub fn absorb(&mut self, other: &StageAgg) {
+        self.total_us = self.total_us.saturating_add(other.total_us);
+        self.count += other.count;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Mean microseconds per recorded op (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-stage latency aggregates over a request population: where the
+/// end-to-end latency actually went, stage by stage.
+///
+/// Stage durations of one op sum to *at most* its end-to-end latency
+/// (instrumentation gaps — e.g. between resolution being decided and
+/// the wakeup running — are deliberately unattributed rather than
+/// guessed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Admission → window fire.
+    pub queue: StageAgg,
+    /// Window fire → machine dispatch (carve, gating, routing,
+    /// validation).
+    pub window: StageAgg,
+    /// Machine execution (scatter → last shard arrival for cross-shard
+    /// reads).
+    pub machine_run: StageAgg,
+    /// Run completion → resolution decided (stats, partial merge,
+    /// sequencing).
+    pub merge: StageAgg,
+    /// Ticket resolution (wakeup / callback delivery).
+    pub resolve: StageAgg,
+}
+
+impl StageBreakdown {
+    /// The stages as `(name, aggregate)` pairs, lifecycle order.
+    pub fn stages(&self) -> [(&'static str, StageAgg); 5] {
+        [
+            ("queue", self.queue),
+            ("window", self.window),
+            ("machine_run", self.machine_run),
+            ("merge", self.merge),
+            ("resolve", self.resolve),
+        ]
+    }
+
+    /// Fold another breakdown into this one.
+    pub fn absorb(&mut self, other: &StageBreakdown) {
+        self.queue.absorb(&other.queue);
+        self.window.absorb(&other.window);
+        self.machine_run.absorb(&other.machine_run);
+        self.merge.absorb(&other.merge);
+        self.resolve.absorb(&other.resolve);
+    }
+
+    /// Sum of per-stage mean durations — the attributed share of the
+    /// mean end-to-end latency.
+    pub fn attributed_mean_us(&self) -> f64 {
+        self.stages().iter().map(|(_, a)| a.mean_us()).sum()
+    }
+
+    /// Render the plain-text breakdown table the repro harness and the
+    /// tracing example print.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {:<12} {:>10} {:>12} {:>10}\n",
+            "stage", "ops", "mean_us", "max_us"
+        ));
+        for (name, agg) in self.stages() {
+            out.push_str(&format!(
+                "  {:<12} {:>10} {:>12.1} {:>10}\n",
+                name,
+                agg.count,
+                agg.mean_us(),
+                agg.max_us
+            ));
+        }
+        out
+    }
+
+    /// Register every stage's mean/max/count under
+    /// `<prefix>.<stage>.{mean_us,max_us,count}` in `registry`.
+    pub fn register_into(&self, registry: &MetricsRegistry, prefix: &str) {
+        for (name, agg) in self.stages() {
+            registry.set_gauge(&format!("{prefix}.{name}.mean_us"), agg.mean_us());
+            registry.set_counter(&format!("{prefix}.{name}.max_us"), agg.max_us);
+            registry.set_counter(&format!("{prefix}.{name}.count"), agg.count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_absorb_and_means() {
+        let mut a = StageBreakdown::default();
+        a.queue.record(10);
+        a.queue.record(30);
+        a.machine_run.record(100);
+        let mut b = StageBreakdown::default();
+        b.queue.record(200);
+        a.absorb(&b);
+        assert_eq!(a.queue.count, 3);
+        assert_eq!(a.queue.total_us, 240);
+        assert_eq!(a.queue.max_us, 200);
+        assert_eq!(a.queue.mean_us(), 80.0);
+        assert_eq!(a.attributed_mean_us(), 180.0);
+        assert_eq!(a.window.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn table_lists_every_stage() {
+        let mut b = StageBreakdown::default();
+        b.resolve.record(7);
+        let table = b.render_table();
+        for name in ["queue", "window", "machine_run", "merge", "resolve"] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn registers_metrics_under_prefix() {
+        let reg = MetricsRegistry::new();
+        let mut b = StageBreakdown::default();
+        b.merge.record(42);
+        b.register_into(&reg, "svc.stage");
+        let snap = reg.snapshot();
+        assert!(snap.contains_key("svc.stage.merge.mean_us"));
+        assert!(snap.contains_key("svc.stage.queue.count"));
+        assert_eq!(snap.len(), 15, "5 stages x 3 metrics");
+    }
+}

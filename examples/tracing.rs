@@ -1,0 +1,106 @@
+//! Observability tour: run a mixed workload on a two-shard service,
+//! print the per-stage latency table and the unified metrics registry,
+//! and export the recorded spans plus a machine timeline as
+//! chrome://tracing JSON (`trace.json` — load it at chrome://tracing or
+//! <https://ui.perfetto.dev>).
+//!
+//! Span recording is on in debug builds; in release builds enable it
+//! with `--features trace`:
+//!
+//! ```text
+//! cargo run --example tracing
+//! cargo run --release --features trace --example tracing
+//! ```
+
+use std::time::Duration;
+
+use ddrs::prelude::*;
+use ddrs::trace::{enabled, MetricsRegistry, Trace};
+
+fn main() {
+    let pts: Vec<Point<2>> = (0..200u32)
+        .map(|i| {
+            Point::weighted([(i as i64 * 13) % 400, (i as i64 * 7) % 300], i, 1 + i as u64 % 4)
+        })
+        .collect();
+    let machines: Vec<Machine> = (0..2).map(|_| Machine::new(2).unwrap()).collect();
+    let service = ShardedService::start(
+        machines,
+        32,
+        &pts,
+        Sum,
+        PartitionPolicy::Range { bounds: vec![200] },
+        ShardedConfig {
+            max_batch: 32,
+            max_delay: Duration::from_micros(300),
+            ..Default::default()
+        },
+    )
+    .expect("building the sharded store");
+
+    // A mixed workload: narrow and cross-shard reads, aggregates,
+    // reports, writes, and one multi-op request block.
+    for i in 0..25i64 {
+        let narrow = Rect::new([i * 7, 0], [i * 7 + 40, 300]);
+        let wide = Rect::new([0, 0], [400, 300]);
+        service.count(narrow).unwrap().wait().unwrap();
+        service.aggregate(wide).unwrap().wait().unwrap();
+        if i % 5 == 0 {
+            service.report(narrow).unwrap().wait().unwrap();
+            service
+                .insert(vec![Point::weighted([(i * 31) % 400, 150], 1000 + i as u32, 2)])
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+    }
+    let mut req = Request::new();
+    let h_all = req.count(Rect::new([0, 0], [400, 300]));
+    let h_left = req.count(Rect::new([0, 0], [199, 300]));
+    let h_ids = req.report(Rect::new([0, 0], [60, 300]));
+    let resp = service.submit(req).unwrap().wait().unwrap().value;
+    println!(
+        "multi-op request: {} points total, {} on the left shard, ids {:?}\n",
+        resp.count(h_all),
+        resp.count(h_left),
+        resp.report(h_ids)
+    );
+
+    // 1. The always-on per-stage latency attribution.
+    let stats = service.stats();
+    println!("where requests spent their time (always on, even without spans):\n");
+    println!("{}", stats.stages.render_table());
+
+    // 2. The unified metrics registry: one namespace for the router
+    //    counters, histograms, stage means and per-shard rollups.
+    let registry = MetricsRegistry::new();
+    stats.register_into(&registry, "sharded");
+    println!("metrics registry:\n");
+    println!("{}", registry.render());
+    service.shutdown();
+
+    // 3. Spans + a machine timeline on one chrome://tracing canvas. The
+    //    standalone run gives the timeline a few supersteps to show.
+    let machine = Machine::new(4).unwrap();
+    machine.run(|ctx| {
+        let mine = vec![ctx.rank() as u64; 8];
+        let total: u64 = ctx.all_gather(mine).into_iter().flatten().sum();
+        ctx.all_reduce_sum(total)
+    });
+    let timeline = machine.take_stats().timeline;
+    let trace = Trace::capture();
+    let json = trace.export_chrome(&timeline);
+    match std::fs::write("trace.json", &json) {
+        Ok(()) => println!(
+            "wrote trace.json: {} span events, {} timeline steps{}",
+            trace.events.len(),
+            timeline.len(),
+            if enabled() {
+                ""
+            } else {
+                " (recording is compiled out — rebuild with --features trace or in debug mode)"
+            }
+        ),
+        Err(e) => eprintln!("could not write trace.json: {e}"),
+    }
+}

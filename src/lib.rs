@@ -23,6 +23,12 @@
 //!   count/aggregate/report batches planned into one SPMD submission
 //!   (one [`Machine::run`](cgm::Machine::run) per client batch, however
 //!   many dynamization levels are occupied),
+//! * [`trace`] — the observability layer: per-thread ring-buffer span
+//!   recording of the request lifecycle (queue → window → machine-run →
+//!   merge → resolve), per-superstep machine timelines, the unified
+//!   [`MetricsRegistry`](trace::MetricsRegistry), and the
+//!   chrome://tracing exporter — all compiled out of release builds
+//!   unless the `trace` feature is on,
 //! * [`service`] — the concurrent serving front-end: multi-producer
 //!   submission with future-like tickets, adaptive micro-batch
 //!   coalescing into fused runs, bounded-queue admission control,
@@ -66,6 +72,7 @@ pub use ddrs_rangetree as rangetree;
 pub use ddrs_sched as sched;
 pub use ddrs_service as service;
 pub use ddrs_shard as shard;
+pub use ddrs_trace as trace;
 pub use ddrs_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used items.

@@ -1,0 +1,96 @@
+//! The tracer's zero-cost contract, pinned from both sides of the gate:
+//!
+//! * default release build (`cargo test --release`): span minting is
+//!   inert, recording entry points are no-ops, and driving real traffic
+//!   through the full sharded stack leaves the capture empty;
+//! * debug build or `--features trace`: the same entry points record,
+//!   and the same traffic produces capturable span events.
+//!
+//! CI runs this file in both configurations.
+
+use std::time::Duration;
+
+use ddrs::prelude::*;
+use ddrs::trace::{begin, enabled, end, SpanId, Stage, Trace};
+
+#[test]
+fn enabled_matches_compile_configuration() {
+    assert_eq!(enabled(), cfg!(any(debug_assertions, feature = "trace")));
+}
+
+#[test]
+fn recording_entry_points_respect_the_gate() {
+    let span = SpanId::fresh();
+    if enabled() {
+        assert!(!span.is_none(), "an active tracer mints real span ids");
+        begin(span, Stage::Queue);
+        end(span, Stage::Queue);
+        assert_eq!(Trace::capture().span_events(span).len(), 2);
+    } else {
+        assert!(span.is_none(), "the default build must not mint span ids");
+        // No-ops by contract: nothing to observe afterwards.
+        begin(span, Stage::Queue);
+        end(span, Stage::Queue);
+        assert!(Trace::capture().events.is_empty(), "default build recorded events");
+    }
+}
+
+/// Real traffic through the sharded stack: reads, a write, a multi-op
+/// request. With recording off the capture stays empty (no hidden
+/// recording path anywhere in the dispatch pipeline); with it on, every
+/// ticket's span is present.
+#[test]
+fn full_stack_traffic_records_if_and_only_if_enabled() {
+    let pts: Vec<Point<2>> =
+        (0..40u32).map(|i| Point::weighted([(i as i64 * 7) % 200, i as i64 % 50], i, 1)).collect();
+    let machines: Vec<Machine> = (0..2).map(|_| Machine::new(2).unwrap()).collect();
+    let service = ShardedService::start(
+        machines,
+        16,
+        &pts,
+        Sum,
+        PartitionPolicy::Range { bounds: vec![100] },
+        ShardedConfig {
+            max_batch: 16,
+            max_delay: Duration::from_micros(200),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let c = service.count(Rect::new([0, 0], [200, 50])).unwrap();
+    let c_span = c.span();
+    c.wait().unwrap();
+    let w = service.insert(vec![Point::weighted([5, 5], 500, 1)]).unwrap();
+    let w_span = w.span();
+    w.wait().unwrap();
+    let mut req = Request::new();
+    let _h = req.count(Rect::new([0, 0], [99, 50]));
+    let t = service.submit(req).unwrap();
+    let r_span = t.span();
+    t.wait().unwrap();
+    service.shutdown();
+
+    let trace = Trace::capture();
+    if enabled() {
+        for span in [c_span, w_span, r_span] {
+            assert!(!span.is_none());
+            assert!(!trace.span_events(span).is_empty(), "active tracer lost span {span:?}");
+        }
+    } else {
+        for span in [c_span, w_span, r_span] {
+            assert!(span.is_none(), "default build handed out a live span id");
+        }
+        assert!(trace.events.is_empty(), "default build recorded {} events", trace.events.len());
+    }
+
+    // The machine timeline obeys the same gate.
+    let m = Machine::new(2).unwrap();
+    m.run(|ctx| ctx.all_reduce_sum(1u64));
+    let stats = m.take_stats();
+    assert_eq!(
+        stats.timeline.is_empty(),
+        !enabled(),
+        "machine timeline recording must match the trace gate"
+    );
+}

@@ -1,0 +1,212 @@
+//! Span-lifecycle properties of the request tracer: every ticket's span
+//! forms a balanced tree of stage slices (each Begin has its End), the
+//! lifecycle stages of a single-op request are contiguous and ordered
+//! (queue → window → machine-run → merge → resolve), and the attributed
+//! stage time never exceeds the end-to-end wall time — under 8-thread
+//! sharded stress and under a mid-epoch injected fault (the quarantined
+//! shard's spans close with the error tag; none leak an open slice).
+//!
+//! All tests no-op when recording is compiled out (release build
+//! without `--features trace`): `Trace::capture` is empty there by
+//! contract, which `tests/trace_gating.rs` pins separately.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ddrs::prelude::*;
+use ddrs::trace::{enabled, Event, EventKind, SpanId, Stage, Trace};
+
+fn machines(s: usize, p: usize) -> Vec<Machine> {
+    (0..s).map(|_| Machine::new(p).unwrap()).collect()
+}
+
+/// 60 points in three x-slabs, matching the range bounds used below.
+fn initial() -> Vec<Point<2>> {
+    (0..60u32)
+        .map(|i| {
+            let slab = (i / 20) as i64;
+            Point::weighted([slab * 100 + (i % 20) as i64 * 5, (i % 20) as i64], i, 1)
+        })
+        .collect()
+}
+
+fn start(shards: usize) -> ShardedService<Sum, 2> {
+    let bounds = match shards {
+        2 => vec![100],
+        _ => vec![100, 200],
+    };
+    ShardedService::start(
+        machines(shards, 2),
+        16,
+        &initial(),
+        Sum,
+        PartitionPolicy::Range { bounds },
+        ShardedConfig {
+            max_batch: 24,
+            max_delay: Duration::from_micros(200),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Every stage slice that opens also closes (order-insensitively, so a
+/// Begin/End pair sharing one nanosecond tick cannot false-positive).
+fn assert_balanced(span: SpanId, events: &[Event]) {
+    assert!(!events.is_empty(), "span {span:?} recorded no events");
+    for stage in Stage::ALL {
+        let begins =
+            events.iter().filter(|e| e.stage == stage && e.kind == EventKind::Begin).count();
+        let ends = events.iter().filter(|e| e.stage == stage && e.kind == EventKind::End).count();
+        assert_eq!(
+            begins, ends,
+            "span {span:?}: {begins} Begin vs {ends} End for {stage:?}: {events:#?}"
+        );
+    }
+}
+
+/// For a single-op span: stages appear in lifecycle order and do not
+/// overlap — each stage's Begin is at or after the previous stage's
+/// End — and the summed stage time fits inside the end-to-end window.
+fn assert_contiguous_single_op(span: SpanId, events: &[Event]) {
+    let mut prev_end = 0u64;
+    let mut attributed = 0u64;
+    for stage in Stage::ALL {
+        let begin = events.iter().find(|e| e.stage == stage && e.kind == EventKind::Begin);
+        let end = events.iter().find(|e| e.stage == stage && e.kind == EventKind::End);
+        match (begin, end) {
+            (Some(b), Some(e)) => {
+                assert!(
+                    b.t_ns >= prev_end,
+                    "span {span:?}: {stage:?} opens at {} before the previous stage closed \
+                     at {prev_end}",
+                    b.t_ns
+                );
+                assert!(b.t_ns <= e.t_ns, "span {span:?}: {stage:?} closes before it opens");
+                attributed += e.t_ns - b.t_ns;
+                prev_end = e.t_ns;
+            }
+            (None, None) => {}
+            _ => panic!("span {span:?}: half-open {stage:?} slice"),
+        }
+    }
+    let first = events.iter().map(|e| e.t_ns).min().unwrap();
+    let last = events.iter().map(|e| e.t_ns).max().unwrap();
+    assert!(
+        attributed <= last - first,
+        "span {span:?}: attributed {attributed}ns exceeds end-to-end {}ns",
+        last - first
+    );
+}
+
+/// 8 closed-loop threads hammer a two-shard service with single-op
+/// reads (narrow and cross-shard), writes, and multi-op requests; every
+/// resulting span must be balanced, and every single-op span contiguous.
+#[test]
+fn spans_balance_under_threaded_shard_stress() {
+    if !enabled() {
+        return;
+    }
+    let service = start(2);
+    // (span, single_op) for every ticket any thread produced.
+    let spans: Mutex<Vec<(SpanId, bool)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for t in 0..8u32 {
+            let service = &service;
+            let spans = &spans;
+            s.spawn(move || {
+                let mut mine = Vec::new();
+                for i in 0..12u32 {
+                    // Narrow (single-shard) and wide (cross-shard) reads.
+                    let narrow = Rect::new([0, 0], [90, 100]);
+                    let wide = Rect::new([0, 0], [300, 100]);
+                    let c = service.count(if i % 2 == 0 { narrow } else { wide }).unwrap();
+                    mine.push((c.span(), true));
+                    c.wait().unwrap();
+                    let r = service.report(wide).unwrap();
+                    mine.push((r.span(), true));
+                    r.wait().unwrap();
+                    // A write with thread-disjoint fresh ids.
+                    let id = 1000 + t * 1000 + i;
+                    let w = service
+                        .insert(vec![Point::weighted([(id % 290) as i64, 50], id, 1)])
+                        .unwrap();
+                    mine.push((w.span(), true));
+                    w.wait().unwrap();
+                }
+                // Multi-op requests: sibling ops share the outer span.
+                for _ in 0..4 {
+                    let mut req = Request::new();
+                    let h1 = req.count(Rect::new([0, 0], [300, 100]));
+                    let h2 = req.count(Rect::new([120, 0], [180, 100]));
+                    let _h3 = req.report(Rect::new([0, 0], [50, 100]));
+                    let ticket = service.submit(req).unwrap();
+                    mine.push((ticket.span(), false));
+                    let resp = ticket.wait().unwrap().value;
+                    assert!(resp.count(h1) >= resp.count(h2));
+                }
+                spans.lock().unwrap().extend(mine);
+            });
+        }
+    });
+    service.shutdown();
+
+    let trace = Trace::capture();
+    let spans = spans.into_inner().unwrap();
+    assert!(!spans.is_empty());
+    for (span, single_op) in spans {
+        let events = trace.span_events(span);
+        assert_balanced(span, &events);
+        if single_op {
+            assert_contiguous_single_op(span, &events);
+        }
+    }
+}
+
+/// A mid-epoch fault aborts the write epoch: every affected span still
+/// closes (balanced — no leaked open slice), and the failing ops' final
+/// slices carry the error tag. Traffic routed at the quarantined shard
+/// afterwards closes with the error tag too.
+#[test]
+fn injected_fault_closes_spans_with_error_tag() {
+    if !enabled() {
+        return;
+    }
+    let service = start(3);
+    // The fault fires inside shard 1's next sub-epoch; the insert
+    // below spans shards 0 and 1 so the healthy sub-epoch rolls back.
+    service.fail_next_write_epoch(1);
+    let w = service
+        .insert(vec![Point::weighted([10, 60], 900, 1), Point::weighted([150, 60], 901, 1)])
+        .unwrap();
+    let w_span = w.span();
+    assert!(w.wait().is_err(), "epoch with an injected fault must abort");
+
+    // Shard 1 is now poisoned: a read fanning out to it fails at
+    // planning, a write targeting it fails validation.
+    let r = service.count(Rect::new([0, 0], [300, 100])).unwrap();
+    let r_span = r.span();
+    assert!(r.wait().is_err());
+    let w2 = service.insert(vec![Point::weighted([150, 61], 902, 1)]).unwrap();
+    let w2_span = w2.span();
+    assert!(w2.wait().is_err());
+    // A sibling shard keeps serving; its span closes cleanly.
+    let ok = service.count(Rect::new([0, 0], [90, 100])).unwrap();
+    let ok_span = ok.span();
+    ok.wait().unwrap();
+    // `shutdown` panics on a poisoned shard by contract; `dismantle`
+    // recovers the healthy shards around the quarantined one.
+    service.dismantle();
+
+    let trace = Trace::capture();
+    for (span, want_err) in [(w_span, true), (r_span, true), (w2_span, true), (ok_span, false)] {
+        let events = trace.span_events(span);
+        assert_balanced(span, &events);
+        assert_contiguous_single_op(span, &events);
+        let errored = events.iter().any(|e| e.kind == EventKind::End && e.err);
+        assert_eq!(
+            errored, want_err,
+            "span {span:?}: error tag mismatch (want_err = {want_err}): {events:#?}"
+        );
+    }
+}
