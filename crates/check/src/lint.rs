@@ -28,6 +28,12 @@
 //! argument position. `#[cfg(test)]` items are skipped entirely. The
 //! pass sees nesting *within* one function body; nesting that spans
 //! function calls is covered by the [`crate::lock`] runtime instead.
+//!
+//! `wal.append` is the per-shard write-ahead log's append mutex
+//! (`ddrs-wal`): the router appends committed epochs while holding no
+//! scheduler lock, so it ranks between the router-side fault set and
+//! the cross-shard merge state, and — like everything else — above the
+//! telemetry classes.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -48,6 +54,7 @@ pub const CANONICAL_LOCK_ORDER: &[&str] = &[
     "sched.queue",
     "stats",
     "shard.faults",
+    "wal.append",
     "shard.cross",
     "ticket.state",
     "metrics.registry",
@@ -80,15 +87,16 @@ fn classify(field: &str, path: &str) -> Option<(usize, &'static str)> {
         "queue" => Some((0, "sched.queue")),
         "stats" => Some((1, "stats")),
         "faults" => Some((2, "shard.faults")),
+        "append" => Some((3, "wal.append")),
         "state" => {
             if path.contains("client") {
-                Some((4, "ticket.state"))
+                Some((5, "ticket.state"))
             } else {
-                Some((3, "shard.cross"))
+                Some((4, "shard.cross"))
             }
         }
-        "registry" => Some((5, "metrics.registry")),
-        "ring" | "rings" => Some((6, "trace.ring")),
+        "registry" => Some((6, "metrics.registry")),
+        "ring" | "rings" => Some((7, "trace.ring")),
         _ => None,
     }
 }
@@ -786,6 +794,7 @@ const WORKSPACE_CRATES: &[&str] = &[
     "crates/shard/src",
     "crates/client/src",
     "crates/trace/src",
+    "crates/wal/src",
 ];
 
 /// Lint the scheduler-stack sources under `root` (the workspace root),

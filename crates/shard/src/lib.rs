@@ -141,9 +141,12 @@ use ddrs_rangetree::semigroup::comb_opt;
 use ddrs_rangetree::{BuildError, DynamicDistRangeTree, Point, Rect, Semigroup, PAD_ID};
 use ddrs_sched::{gate_reads, Pending, SchedConfig, SchedCore, StopMode, Window};
 use ddrs_trace::{SpanId, Stage};
+use ddrs_wal::{EpochRecord, EpochWal, LogSink, LogTail, MemSink, RecordKind};
 
 use partition::Partitioner;
-use worker::{spawn_worker, ReadComplete, ShardJob, SplitReply, WorkerHandle, WriteReply};
+use worker::{
+    spawn_worker, ReadComplete, RecoverReply, ShardJob, SplitReply, WorkerHandle, WriteReply,
+};
 
 /// Tuning knobs of the sharded serving layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -197,12 +200,31 @@ pub struct SplitReport {
     pub boundary: i64,
 }
 
+/// Outcome of a completed shard recovery: a quarantined shard rebuilt
+/// from its write-ahead log and returned to service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The shard that was rebuilt.
+    pub shard: usize,
+    /// Committed WAL records replayed into the fresh store.
+    pub replayed_records: usize,
+    /// Live points in the rebuilt store.
+    pub live_points: usize,
+    /// `false` when the log ended in a torn or corrupt tail (expected
+    /// after a crash mid-append): recovery stopped at the last complete
+    /// record.
+    pub clean_tail: bool,
+    /// Wall-clock duration of the rebuild (decode + replay + rejoin).
+    pub duration: Duration,
+}
+
 /// One request as it sits in the router queue: a client-contract op, or
-/// the router's own split command (the one op with no `RangeStore`
-/// spelling).
+/// one of the router's own commands (split / recover — the ops with no
+/// `RangeStore` spelling).
 enum Op<S: Semigroup, const D: usize> {
     Client(PlannedOp<S, D>),
     Split(usize, Resolver<SplitReport>),
+    Recover(usize, Resolver<RecoveryReport>),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,6 +232,7 @@ enum Kind {
     Read,
     Write,
     Split,
+    Recover,
 }
 
 impl<S: Semigroup, const D: usize> Op<S, D> {
@@ -218,6 +241,7 @@ impl<S: Semigroup, const D: usize> Op<S, D> {
             Op::Client(op) if op.is_read() => Kind::Read,
             Op::Client(_) => Kind::Write,
             Op::Split(..) => Kind::Split,
+            Op::Recover(..) => Kind::Recover,
         }
     }
 
@@ -225,6 +249,7 @@ impl<S: Semigroup, const D: usize> Op<S, D> {
         match self {
             Op::Client(op) => op.fail(e),
             Op::Split(_, r) => r.resolve(Err(e)),
+            Op::Recover(_, r) => r.resolve(Err(e)),
         }
     }
 
@@ -232,6 +257,7 @@ impl<S: Semigroup, const D: usize> Op<S, D> {
         match self {
             Op::Client(op) => op.span(),
             Op::Split(_, r) => r.span(),
+            Op::Recover(_, r) => r.span(),
         }
     }
 }
@@ -302,9 +328,35 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
         policy: PartitionPolicy,
         cfg: ShardedConfig,
     ) -> Result<Self, BuildError> {
+        let sinks =
+            (0..machines.len()).map(|_| Box::new(MemSink::new()) as Box<dyn LogSink>).collect();
+        Self::start_with_sinks(machines, capacity, initial, sg, policy, cfg, sinks)
+    }
+
+    /// [`start`](ShardedService::start) with one caller-provided
+    /// write-ahead-log sink per shard (e.g. `ddrs_wal::FileSink` for a
+    /// log that survives the process). `start` itself uses in-memory
+    /// sinks: the crash domain the service defends against is a
+    /// processor panic inside one shard, and the log only has to
+    /// outlive the quarantined *store*, not the process.
+    ///
+    /// # Panics
+    /// As [`start`](ShardedService::start), plus if `sinks` does not
+    /// match the machine count, or an initial-load record cannot be
+    /// appended to its sink.
+    pub fn start_with_sinks(
+        machines: Vec<Machine>,
+        capacity: usize,
+        initial: &[Point<D>],
+        sg: S,
+        policy: PartitionPolicy,
+        cfg: ShardedConfig,
+        sinks: Vec<Box<dyn LogSink>>,
+    ) -> Result<Self, BuildError> {
         assert!(!machines.is_empty(), "need at least one shard machine");
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.queue_capacity >= 1, "queue_capacity must be at least 1");
+        assert_eq!(sinks.len(), machines.len(), "need exactly one WAL sink per shard");
         let shards = machines.len();
         let part = Partitioner::new(policy, shards);
 
@@ -328,6 +380,11 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
             .map(|(i, m)| spawn_worker(i, m, DynamicDistRangeTree::<D>::new(capacity)))
             .collect();
 
+        // One write-ahead log per shard. Non-empty shards log their
+        // initial bulk load as the first record, so a recovery replay
+        // starts from the same state the worker does.
+        let wals: Vec<EpochWal<D>> = sinks.into_iter().map(EpochWal::with_sink).collect();
+
         // Parallel bulk load; construction statistics are not part of
         // the service telemetry (mirrors the unsharded service, whose
         // stats cover exactly its own dispatches).
@@ -338,6 +395,12 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
                 continue;
             }
             loading += 1;
+            wals[sh]
+                .append_record(&EpochRecord::event(RecordKind::Load, 0, Vec::new(), pts.clone()))
+                // ddrs-check: allow(unwrap) — construction-time append:
+                // no clients exist yet, and a service whose log cannot
+                // record its own initial state must not start.
+                .expect("initial WAL append failed");
             workers[sh]
                 .tx
                 .send(ShardJob::Write {
@@ -381,8 +444,16 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
             ),
             faults: TrackedMutex::new("shard.faults", HashSet::new()),
         });
-        let router_state =
-            Router { workers, part, owner, shard_len, poisoned: vec![None; shards], next_seq: 0 };
+        let router_state = Router {
+            workers,
+            part,
+            owner,
+            shard_len,
+            poisoned: vec![None; shards],
+            next_seq: 0,
+            wals,
+            capacity,
+        };
         let sched_inner = Arc::clone(&inner);
         let router = std::thread::Builder::new()
             .name("ddrs-shard-router".into())
@@ -412,6 +483,27 @@ impl<S: Semigroup, const D: usize> ShardedService<S, D> {
         assert!(donor < self.shards, "split_shard: no shard {donor}");
         let (t, r) = ticket();
         self.enqueue_ops(1, || (vec![Op::Split(donor, r)], None, None))?;
+        Ok(t)
+    }
+
+    /// Request recovery of quarantined shard `shard`: between two
+    /// dispatches, the router replays the shard's write-ahead log into
+    /// a fresh store on the shard's own machine (stopping cleanly at
+    /// any torn log tail), re-derives the id→shard ownership index from
+    /// the rebuilt live ids, clears the quarantine, and the shard
+    /// rejoins the service in place of its poisoned predecessor.
+    ///
+    /// Resolves with the [`RecoveryReport`], or
+    /// [`ServiceError::Machine`] if the shard is not poisoned or the
+    /// replay itself fails (the shard then stays quarantined and the
+    /// call can be retried). Requests in flight against the dead shard
+    /// are unaffected: recovery dispatches exclusively, so every
+    /// earlier op has already resolved — committed, rejected, or failed
+    /// with the quarantine error — by the time the rebuild runs.
+    pub fn recover_shard(&self, shard: usize) -> Result<Ticket<RecoveryReport>, SubmitError> {
+        assert!(shard < self.shards, "recover_shard: no shard {shard}");
+        let (t, r) = ticket();
+        self.enqueue_ops(1, || (vec![Op::Recover(shard, r)], None, None))?;
         Ok(t)
     }
 
@@ -585,6 +677,14 @@ struct Router<S: Semigroup, const D: usize> {
     shard_len: Vec<usize>,
     poisoned: Vec<Option<String>>,
     next_seq: u64,
+    /// One write-ahead log per shard (lock class `wal.append`): every
+    /// committed epoch, bulk load and migration is appended before any
+    /// of its tickets resolve, so a quarantined shard can always be
+    /// rebuilt to its last committed state by `recover_shard`.
+    wals: Vec<EpochWal<D>>,
+    /// The rebuild-unit capacity every shard store was built with —
+    /// recovery rebuilds with the same value.
+    capacity: usize,
 }
 
 impl<S: Semigroup, const D: usize> Router<S, D> {
@@ -592,12 +692,18 @@ impl<S: Semigroup, const D: usize> Router<S, D> {
         self.workers.len()
     }
 
-    /// Publish per-shard health and sizes into the shared stats.
+    /// Publish per-shard health, sizes and WAL counters into the shared
+    /// stats.
     fn publish(&self, inner: &Inner<S, D>) {
         let mut st = inner.stats.lock();
         for (i, snap) in st.per_shard.iter_mut().enumerate() {
             snap.live_points = self.shard_len[i];
             snap.poisoned = self.poisoned[i].clone();
+            // `stats` precedes `wal.append` in the canonical order, so
+            // reading the log counters under the stats guard is legal.
+            let ws = self.wals[i].stats();
+            snap.wal_records = ws.records;
+            snap.wal_bytes = ws.bytes;
         }
         st.range_bounds = self.part.bounds();
     }
@@ -609,8 +715,11 @@ fn router_loop<S: Semigroup, const D: usize>(
 ) -> Vec<ShardParts<D>> {
     loop {
         // The shared scheduler core decides when and what to dispatch;
-        // splits are the one exclusive kind (they dispatch alone).
-        let window = inner.core.next_window(None, Op::kind, |k| *k == Kind::Split);
+        // splits and recoveries are the exclusive kinds (they dispatch
+        // alone, between windows, so no in-flight request observes a
+        // half-migrated or half-rebuilt store).
+        let window =
+            inner.core.next_window(None, Op::kind, |k| matches!(k, Kind::Split | Kind::Recover));
         let (batch, expired) = match window {
             Window::Shutdown { rejected, .. } => {
                 inner.stats.lock().completed += rejected.len() as u64;
@@ -672,6 +781,44 @@ fn router_loop<S: Semigroup, const D: usize>(
                 }
                 // Publish before resolution: the split's effects must be
                 // visible in the telemetry by the time its ticket resolves.
+                router.publish(inner);
+                match outcome {
+                    Ok(report) => {
+                        let seq = router.next_seq;
+                        router.next_seq += 1;
+                        ddrs_trace::end(resolver.span(), Stage::Window);
+                        resolver.resolve(Ok(Commit { value: report, seq }));
+                    }
+                    Err(e) => {
+                        ddrs_trace::end_err(resolver.span(), Stage::Window);
+                        resolver.resolve(Err(ServiceError::Machine(e)));
+                    }
+                }
+            }
+            Kind::Recover => {
+                debug_assert_eq!(batch.len(), 1);
+                let Some(Pending { op: Op::Recover(shard, resolver), submitted, .. }) =
+                    batch.into_iter().next()
+                else {
+                    unreachable!("recover batch without a recover op")
+                };
+                ddrs_trace::transition(resolver.span(), Stage::Queue, Stage::Window);
+                let outcome = do_recover(inner, &mut router, shard);
+                {
+                    let mut st = inner.stats.lock();
+                    st.completed += 1;
+                    st.latency_us.record(submitted.elapsed().as_micros() as u64);
+                    if let Ok(report) = &outcome {
+                        // The rebuild is the recovery's window work —
+                        // surfaced through the always-on breakdown so
+                        // BENCH_recovery.json and the metrics registry
+                        // see the duration without span recording.
+                        st.stages.window.record(report.duration.as_micros() as u64);
+                    }
+                }
+                // Publish before resolution: the recovery's effects
+                // (health, sizes, counters) must be visible in the
+                // telemetry by the time its ticket resolves.
                 router.publish(inner);
                 match outcome {
                     Ok(report) => {
@@ -1376,6 +1523,20 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
     // the point payloads instead of cloning them.
     let insert_ids: Vec<Vec<u32>> =
         inserts.iter().map(|pts| pts.iter().map(|p| p.id).collect()).collect();
+    // WAL capital: the scatter below moves the batches into the jobs,
+    // so the per-shard log copies (and the epoch's verdict list) are
+    // taken before it. Every involved shard's record carries the full
+    // verdict list — the epoch is global — plus its own sub-batches.
+    let mut wal_deletes: Vec<Vec<u32>> = tree_deleted.clone();
+    let mut wal_inserts: Vec<Vec<Point<D>>> = inserts.clone();
+    let wal_verdicts: Vec<ddrs_wal::Verdict> = outcomes
+        .iter()
+        .map(|(_, v, _)| match v {
+            Verdict::Commit => ddrs_wal::Verdict::Commit,
+            Verdict::Rejected(_) => ddrs_wal::Verdict::Rejected,
+            Verdict::Unavailable(_) => ddrs_wal::Verdict::Unavailable,
+        })
+        .collect();
     // The whole run shares the epoch's fate — even a sequentially
     // rejected op's resolution waits on the machine run — so every span
     // advances through MachineRun together.
@@ -1444,10 +1605,44 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
         }
     };
 
-    let epoch_error: Option<String> = involved.iter().find_map(|&s| match &replies[s] {
+    let mut epoch_error: Option<String> = involved.iter().find_map(|&s| match &replies[s] {
         Some(Err(e)) => Some(format!("shard {s}: {e}")),
         _ => None,
     });
+
+    // Log-before-resolve: a committed epoch reaches every involved
+    // shard's WAL before any of its tickets resolve, so a crash between
+    // commit and resolution never yields a response the log cannot
+    // reproduce. The in-memory sink is infallible; a file sink's IO
+    // failure aborts the epoch, and any sibling whose log already
+    // carries the aborted record is quarantined (its log is ahead of
+    // the epoch outcome, so only an operator-driven recovery may touch
+    // it again).
+    if epoch_error.is_none() {
+        let mut appended: Vec<usize> = Vec::with_capacity(involved.len());
+        for &s in &involved {
+            let rec = EpochRecord {
+                kind: RecordKind::Epoch,
+                first_seq: router.next_seq,
+                verdicts: wal_verdicts.clone(),
+                deletes: std::mem::take(&mut wal_deletes[s]),
+                inserts: std::mem::take(&mut wal_inserts[s]),
+            };
+            match router.wals[s].append_record(&rec) {
+                Ok(_) => appended.push(s),
+                Err(e) => {
+                    epoch_error = Some(format!("shard {s}: wal append failed: {e}"));
+                    router.poisoned[s] = Some(format!("wal append failed: {e}"));
+                    for &a in &appended {
+                        router.poisoned[a] = Some(
+                            "wal carries an epoch that aborted on a sibling's log failure".into(),
+                        );
+                    }
+                    break;
+                }
+            }
+        }
+    }
 
     match epoch_error {
         None => {
@@ -1488,6 +1683,12 @@ fn dispatch_write_epoch<S: Semigroup, const D: usize>(
             let (rtx, rrx) = mpsc::channel::<WriteReply<D>>();
             let mut rolling = 0usize;
             for &s in &involved {
+                if router.poisoned[s].is_some() {
+                    // Already quarantined (machine failure, or a log
+                    // that carries the aborted epoch): never roll the
+                    // store out from under a log that disagrees.
+                    continue;
+                }
                 let Some(Ok(extracted)) = &replies[s] else { continue };
                 let undo_inserts = insert_ids[s].clone();
                 if undo_inserts.is_empty() && extracted.is_empty() {
@@ -1669,6 +1870,28 @@ fn do_split<S: Semigroup, const D: usize>(
         return Err(format!("split failed landing on shard {to}: {e}"));
     }
 
+    // Log the migration on both shards' WALs before the routing state
+    // changes (the same log-before-resolve discipline as write epochs:
+    // by the time the split ticket resolves, both logs reproduce their
+    // stores). A failed landing or restore logs nothing — the logs then
+    // still describe the consistent pre-split state recovery targets.
+    // An append IO failure quarantines both ends: whichever log kept
+    // the record no longer agrees with a store the other end rolled
+    // forward, so neither may serve until an operator recovers them.
+    let migrated_ids: Vec<u32> = moved.iter().map(|p| p.id).collect();
+    let out_rec =
+        EpochRecord::event(RecordKind::MigrateOut, router.next_seq, migrated_ids, Vec::new());
+    let in_rec =
+        EpochRecord::event(RecordKind::MigrateIn, router.next_seq, Vec::new(), moved.clone());
+    let append = router.wals[donor]
+        .append_record(&out_rec)
+        .and_then(|_| router.wals[to].append_record(&in_rec));
+    if let Err(e) = append {
+        router.poisoned[donor] = Some(format!("wal append failed during migration: {e}"));
+        router.poisoned[to] = Some(format!("wal append failed during migration: {e}"));
+        return Err(format!("split failed: wal append: {e}"));
+    }
+
     // Commit the migration in the routing state. Under the range policy
     // the shifted boundary re-describes residency exactly; under hash
     // placement the moved points no longer live where the placement mix
@@ -1692,6 +1915,69 @@ fn do_split<S: Semigroup, const D: usize>(
         st.rebalance_moved += moved.len() as u64;
     }
     Ok(SplitReport { from: donor, to, moved: moved.len(), boundary })
+}
+
+/// Rebuild quarantined shard `shard` from its write-ahead log and
+/// return it to service. Runs between dispatches on the router thread
+/// (recovery is an exclusive kind), so no in-flight request observes a
+/// half-rebuilt shard:
+///
+/// 1. decode the shard's log, stopping cleanly at any torn or corrupt
+///    tail — exactly the committed records survive;
+/// 2. replay them into a fresh store on the shard's own machine (the
+///    worker swaps it in only if the whole replay succeeds);
+/// 3. re-derive the id→shard ownership index: drop every id still
+///    mapped to the dead shard, claim the rebuilt store's live ids;
+/// 4. clear the quarantine and republish health.
+///
+/// On any failure the shard stays quarantined, the ownership index is
+/// untouched, and the call can be retried.
+fn do_recover<S: Semigroup, const D: usize>(
+    inner: &Inner<S, D>,
+    router: &mut Router<S, D>,
+    shard: usize,
+) -> Result<RecoveryReport, String> {
+    if router.poisoned[shard].is_none() {
+        return Err(format!("recover impossible: shard {shard} is not poisoned"));
+    }
+    let t0 = Instant::now();
+    let (records, tail) =
+        router.wals[shard].replay().map_err(|e| format!("recover failed: wal unreadable: {e}"))?;
+    let replayed = records.len();
+    let clean_tail = matches!(tail, LogTail::Clean);
+    let (tx, rx) = mpsc::channel::<RecoverReply>();
+    router.workers[shard]
+        .tx
+        .send(ShardJob::Recover { capacity: router.capacity, records, reply: tx })
+        .map_err(|_| "recover failed: shard worker is gone".to_string())?;
+    let reply =
+        rx.recv().map_err(|_| "recover failed: shard worker dropped its reply".to_string())?;
+    {
+        let mut st = inner.stats.lock();
+        st.machine.absorb(&reply.stats);
+        st.per_shard[shard].machine.absorb(&reply.stats);
+    }
+    let live = reply.result?;
+    router.owner.retain(|_, sh| *sh != shard);
+    for id in &live {
+        router.owner.insert(*id, shard);
+    }
+    router.shard_len[shard] = live.len();
+    router.poisoned[shard] = None;
+    let duration = t0.elapsed();
+    {
+        let mut st = inner.stats.lock();
+        st.recoveries += 1;
+        st.recovered_points += live.len() as u64;
+        st.recovery_us.record(duration.as_micros() as u64);
+    }
+    Ok(RecoveryReport {
+        shard,
+        replayed_records: replayed,
+        live_points: live.len(),
+        clean_tail,
+        duration,
+    })
 }
 
 #[cfg(test)]

@@ -17,6 +17,11 @@ pub struct ShardSnapshot {
     /// shard (a poisoned shard rejects all further traffic; its
     /// siblings keep serving).
     pub poisoned: Option<String>,
+    /// Records appended to this shard's write-ahead log (bulk load,
+    /// committed epochs, migrations).
+    pub wal_records: u64,
+    /// Frame bytes appended to this shard's write-ahead log.
+    pub wal_bytes: u64,
 }
 
 /// A point-in-time snapshot of the sharded service's telemetry.
@@ -54,6 +59,14 @@ pub struct ShardedStats {
     pub rebalances: u64,
     /// Points moved between shard groups by those migrations.
     pub rebalance_moved: u64,
+    /// Completed shard recoveries (write-ahead-log replays that
+    /// returned a quarantined shard to service).
+    pub recoveries: u64,
+    /// Live points rebuilt by those recoveries.
+    pub recovered_points: u64,
+    /// Distribution of recovery durations (decode + replay + rejoin),
+    /// in µs.
+    pub recovery_us: Histogram,
     /// Machine-side rollup across every shard.
     pub machine: RunStatsRollup,
     /// Per-shard machine rollups, live-point counts and health.
@@ -141,6 +154,9 @@ impl ShardedStats {
         registry.set_counter(&format!("{prefix}.read_ops_routed"), self.read_ops_routed);
         registry.set_counter(&format!("{prefix}.rebalances"), self.rebalances);
         registry.set_counter(&format!("{prefix}.rebalance_moved"), self.rebalance_moved);
+        registry.set_counter(&format!("{prefix}.recoveries"), self.recoveries);
+        registry.set_counter(&format!("{prefix}.recovered_points"), self.recovered_points);
+        registry.set_histogram(&format!("{prefix}.recovery_us"), self.recovery_us.clone());
         registry.set_counter(&format!("{prefix}.queue_depth"), self.queue_depth as u64);
         registry.set_counter(&format!("{prefix}.total_points"), self.total_points() as u64);
         registry.set_gauge(&format!("{prefix}.coalescing_factor"), self.coalescing_factor());
@@ -154,6 +170,8 @@ impl ShardedStats {
             let sp = format!("{prefix}.shard.{i}");
             registry.set_counter(&format!("{sp}.live_points"), shard.live_points as u64);
             registry.set_counter(&format!("{sp}.poisoned"), u64::from(shard.poisoned.is_some()));
+            registry.set_counter(&format!("{sp}.wal_records"), shard.wal_records);
+            registry.set_counter(&format!("{sp}.wal_bytes"), shard.wal_bytes);
             register_rollup(&shard.machine, registry, &format!("{sp}.machine"));
         }
     }

@@ -16,6 +16,7 @@ use std::thread::JoinHandle;
 use ddrs_cgm::{panic_message, CgmError, Machine, RunStats};
 use ddrs_engine::{BatchResults, QueryBatch};
 use ddrs_rangetree::{DynamicDistRangeTree, Point, Semigroup};
+use ddrs_wal::EpochRecord;
 
 /// What a read sub-batch does with its outcome: invoked on the worker
 /// thread with the fused results (or the failure) and the run's stats.
@@ -46,6 +47,12 @@ pub(crate) enum ShardJob<S: Semigroup, const D: usize> {
     /// Extract one half of the store, split by the first coordinate
     /// (ties kept together), for migration to a sibling group.
     SplitHalf { upper: bool, reply: mpsc::Sender<SplitReply<D>> },
+    /// Rebuild the store from the shard's write-ahead log: replay
+    /// `records` into a fresh tree and swap it in place of the current
+    /// (possibly inconsistent) one. On failure the old store is kept
+    /// untouched, so the router can leave the shard quarantined and
+    /// retry later.
+    Recover { capacity: usize, records: Vec<EpochRecord<D>>, reply: mpsc::Sender<RecoverReply> },
     /// Hand the machine and store back and exit the thread.
     Stop { reply: mpsc::Sender<(Machine, DynamicDistRangeTree<D>)> },
 }
@@ -62,6 +69,13 @@ pub(crate) struct SplitReply<const D: usize> {
     /// The migrated points and the axis-0 boundary separating them from
     /// the points the donor kept.
     pub result: Result<(Vec<Point<D>>, i64), String>,
+    pub stats: RunStats,
+}
+
+pub(crate) struct RecoverReply {
+    /// On success, the live point ids of the rebuilt store (the router
+    /// re-derives the ownership index from them).
+    pub result: Result<Vec<u32>, String>,
     pub stats: RunStats,
 }
 
@@ -157,6 +171,22 @@ fn worker_loop<S: Semigroup, const D: usize>(
                     Err(payload) => Err(panic_message(&*payload)),
                 };
                 let _ = reply.send(SplitReply { result, stats });
+            }
+            ShardJob::Recover { capacity, records, reply } => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    ddrs_wal::replay_into_store(&machine, capacity, &records)
+                }));
+                let stats = machine.take_stats();
+                let result = match outcome {
+                    Ok(Ok(fresh)) => {
+                        let live = fresh.points().map(|p| p.id).collect();
+                        tree = fresh;
+                        Ok(live)
+                    }
+                    Ok(Err(e)) => Err(e),
+                    Err(payload) => Err(panic_message(&*payload)),
+                };
+                let _ = reply.send(RecoverReply { result, stats });
             }
             ShardJob::Stop { reply } => {
                 let _ = reply.send((machine, tree));

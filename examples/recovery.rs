@@ -1,0 +1,116 @@
+//! Durability end to end: kill one shard group mid-load with a
+//! simulated processor panic, watch the blast radius stop at its
+//! boundary, then heal it live with `recover_shard()` — a replay of the
+//! shard's per-epoch write-ahead log — while the siblings keep serving.
+//! The recovery duration is read back from the unified metrics
+//! registry.
+//!
+//! ```sh
+//! cargo run --release --example recovery
+//! ```
+
+use std::time::Duration;
+
+use ddrs::prelude::*;
+use ddrs::trace::{MetricValue, MetricsRegistry};
+
+fn main() {
+    let shards = 3;
+
+    // Seed: 6144 points, a third per range slab; 2048 more arrive as a
+    // streamed load after startup.
+    let all: Vec<Point<2>> =
+        WorkloadBuilder::new(19, 8192).points(PointDistribution::UniformCube { side: 1 << 16 });
+    let (seed_pts, fresh) = all.split_at(6144);
+    let policy = PartitionPolicy::range_from_sample(shards, seed_pts);
+
+    let machines: Vec<Machine> = (0..shards).map(|_| Machine::new(2).unwrap()).collect();
+    let service = ShardedService::start(
+        machines,
+        1 << 8,
+        seed_pts,
+        Sum,
+        policy,
+        ShardedConfig { max_delay: Duration::from_micros(300), ..ShardedConfig::default() },
+    )
+    .expect("seed points are unique");
+    let everything = Rect::new([i64::MIN, i64::MIN], [i64::MAX, i64::MAX]);
+
+    // The simulated processor panic below is expected — don't let it
+    // spray a backtrace over the demo output.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !std::thread::current().name().is_some_and(|n| n.starts_with("cgm-worker")) {
+            default_hook(info);
+        }
+    }));
+
+    // Stream the load; halfway through, a processor in shard 1 dies
+    // mid-epoch. Every block resolves definitely: committed, aborted by
+    // the panic, or refused by the quarantine.
+    println!("streaming {} points in blocks of 128…", fresh.len());
+    let (mut committed, mut failed) = (0usize, 0usize);
+    for (i, block) in fresh.chunks(128).enumerate() {
+        if i == 8 {
+            println!("  !! killing shard 1 mid-epoch (injected processor panic)");
+            service.fail_next_write_epoch(1);
+        }
+        match service.insert(block.to_vec()).unwrap().wait() {
+            Ok(_) => committed += 1,
+            Err(e) => {
+                failed += 1;
+                if failed == 1 {
+                    println!("  first failed block: {e}");
+                }
+            }
+        }
+    }
+    let stats = service.stats();
+    println!("  committed {committed} blocks, {failed} refused while quarantined");
+    println!(
+        "  quarantine: shard 1 → {:?}",
+        stats.per_shard[1].poisoned.as_deref().map(|r| r.split(':').next().unwrap_or(r))
+    );
+    println!(
+        "  shard WAL sizes: {:?} records",
+        stats.per_shard.iter().map(|s| s.wal_records).collect::<Vec<_>>()
+    );
+
+    // Sibling slabs keep serving while shard 1 is down: a read confined
+    // to shard 0's slab routes around the quarantine entirely.
+    let b0 = stats.range_bounds.as_ref().map_or(0, |b| b[0]);
+    let slab0 = Rect::new([i64::MIN, i64::MIN], [b0 - 1, i64::MAX]);
+    let c = service.count(slab0).unwrap().wait().expect("slab 0 serves around the quarantine");
+    println!("  siblings still serving: slab 0 (x < {b0}) holds {} points", c.value);
+
+    // Heal it live: replay the write-ahead log into a fresh store.
+    let report = service.recover_shard(1).unwrap().wait().expect("recovery succeeds").value;
+    println!(
+        "\nrecovered shard {}: {} records replayed → {} live points (clean tail: {})",
+        report.shard, report.replayed_records, report.live_points, report.clean_tail
+    );
+
+    // The duration lands in the metrics registry with the rest of the
+    // service telemetry.
+    let registry = MetricsRegistry::new();
+    service.stats().register_into(&registry, "sharded");
+    let snap = registry.snapshot();
+    match (snap.get("sharded.recoveries"), snap.get("sharded.recovery_us")) {
+        (Some(MetricValue::Counter(n)), Some(MetricValue::Histogram(h))) => {
+            println!("registry: sharded.recoveries = {n}, recovery p50 ≈ {} µs", h.quantile(0.5));
+        }
+        other => panic!("recovery metrics missing from the registry: {other:?}"),
+    }
+    println!("report duration: {:.1} ms", report.duration.as_secs_f64() * 1e3);
+
+    // Fully healed: writes route through shard 1 again and the global
+    // view is exact.
+    let total_before = service.count(everything).unwrap().wait().unwrap().value;
+    service.insert(vec![Point::weighted([0, 0], 60_000, 1)]).unwrap().wait().unwrap();
+    let total_after = service.count(everything).unwrap().wait().unwrap().value;
+    assert_eq!(total_after, total_before + 1);
+    let parts = service.shutdown();
+    let sum: usize = parts.iter().map(|(_, t)| t.len()).sum();
+    assert_eq!(sum as u64, total_after);
+    println!("\nshutdown clean: {sum} points across {} healthy shard stores", parts.len());
+}

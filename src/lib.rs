@@ -40,7 +40,14 @@
 //!   [`ShardedService`](shard::ShardedService) façade that plans
 //!   cross-shard read batches into per-shard fused sub-batches (≤ `S`
 //!   machine runs per window), routes writes by key, assigns one global
-//!   commit order, and rebalances skewed shards by subtree migration.
+//!   commit order, and rebalances skewed shards by subtree migration,
+//! * [`wal`] — durability: the per-shard epoch write-ahead log
+//!   ([`EpochWal`](wal::EpochWal)) with length-prefixed checksummed
+//!   binary framing, pluggable in-memory / file-backed
+//!   [`LogSink`](wal::LogSink)s, torn-tail-tolerant replay and the
+//!   [`replay_into_store`](wal::replay_into_store) crash-recovery path
+//!   that [`ShardedService::recover_shard`](shard::ShardedService::recover_shard)
+//!   uses to rebuild a quarantined shard.
 //!
 //! ## Quickstart
 //!
@@ -73,6 +80,7 @@ pub use ddrs_sched as sched;
 pub use ddrs_service as service;
 pub use ddrs_shard as shard;
 pub use ddrs_trace as trace;
+pub use ddrs_wal as wal;
 pub use ddrs_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used items.
@@ -90,8 +98,9 @@ pub mod prelude {
         Commit, Service, ServiceConfig, ServiceError, ServiceStats, SubmitError, Ticket,
     };
     pub use ddrs_shard::{
-        PartitionPolicy, ShardedConfig, ShardedService, ShardedStats, SplitReport,
+        PartitionPolicy, RecoveryReport, ShardedConfig, ShardedService, ShardedStats, SplitReport,
     };
+    pub use ddrs_wal::{EpochWal, FileSink, LogSink, LogTail, MemSink};
     pub use ddrs_workloads::{
         ArrivalProcess, ArrivalTrace, PointDistribution, QueryWorkload, WorkloadBuilder,
     };
