@@ -34,6 +34,15 @@
 //! scheduler lock, so it ranks between the router-side fault set and
 //! the cross-shard merge state, and — like everything else — above the
 //! telemetry classes.
+//!
+//! `net.conn` covers every connection-scoped lock of the network
+//! front-end (`ddrs-net`): the server's connection table and the remote
+//! client's per-connection pending map and write half. They rank below
+//! the serving locks (network threads never hold one while submitting
+//! into a scheduler) and above the ticket classes, because a demux
+//! thread may resolve tickets from under its connection state.
+//! `ticket.watch` is the `Ticket::on_resolve` watch cell — held while
+//! polling the parked ticket, so it sits directly above `ticket.state`.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -43,19 +52,24 @@ use std::path::{Path, PathBuf};
 /// The canonical acquisition order over the scheduler stack's named
 /// lock classes, outermost first. `stats` covers both `service.stats`
 /// and `shard.stats` (they never nest with each other); `shard.cross`
-/// is the per-`CrossOp` merge state; `ticket.state` is the client-side
-/// ticket cell, innermost of the scheduling locks because resolving a
-/// ticket is the last thing a completion path does. The two telemetry
-/// classes sit below everything: `metrics.registry` is the unified
-/// export registry, and `trace.ring` guards the per-thread span
-/// ring-buffers — recording an event must be legal from under any
-/// scheduler lock, so it ranks last.
+/// is the per-`CrossOp` merge state; `net.conn` is the network
+/// front-end's connection-scoped state (server connection table,
+/// remote-client pending maps and write halves); `ticket.watch` is the
+/// `on_resolve` watch cell and `ticket.state` the ticket cell itself,
+/// innermost of the scheduling locks because resolving a ticket is the
+/// last thing a completion path does. The two telemetry classes sit
+/// below everything: `metrics.registry` is the unified export registry,
+/// and `trace.ring` guards the per-thread span ring-buffers — recording
+/// an event must be legal from under any scheduler lock, so it ranks
+/// last.
 pub const CANONICAL_LOCK_ORDER: &[&str] = &[
     "sched.queue",
     "stats",
     "shard.faults",
     "wal.append",
     "shard.cross",
+    "net.conn",
+    "ticket.watch",
     "ticket.state",
     "metrics.registry",
     "trace.ring",
@@ -90,13 +104,19 @@ fn classify(field: &str, path: &str) -> Option<(usize, &'static str)> {
         "append" => Some((3, "wal.append")),
         "state" => {
             if path.contains("client") {
-                Some((5, "ticket.state"))
+                Some((7, "ticket.state"))
             } else {
                 Some((4, "shard.cross"))
             }
         }
-        "registry" => Some((6, "metrics.registry")),
-        "ring" | "rings" => Some((7, "trace.ring")),
+        // The network front-end's connection-scoped locks (`ddrs-net`):
+        // the server connection table and the client's per-connection
+        // pending map / write half all share one class, and none of
+        // them may nest inside another.
+        "conns" | "pending" | "stream" if path.contains("net") => Some((5, "net.conn")),
+        "watch" if path.contains("client") => Some((6, "ticket.watch")),
+        "registry" => Some((8, "metrics.registry")),
+        "ring" | "rings" => Some((9, "trace.ring")),
         _ => None,
     }
 }
@@ -795,6 +815,7 @@ const WORKSPACE_CRATES: &[&str] = &[
     "crates/client/src",
     "crates/trace/src",
     "crates/wal/src",
+    "crates/net/src",
 ];
 
 /// Lint the scheduler-stack sources under `root` (the workspace root),

@@ -91,7 +91,7 @@ pub use error::{ServiceError, SubmitError};
 pub use inline::InlineStore;
 pub use request::{
     AggregateHandle, Consistency, CountHandle, Planned, PlannedOp, ReportHandle, Request, Response,
-    WriteHandle,
+    WriteHandle, WriteOp,
 };
 pub use store::RangeStore;
 pub use ticket::{ticket, Commit, Outcome, Resolver, Ticket, WaitFor};

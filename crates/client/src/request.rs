@@ -89,6 +89,17 @@ enum WriteReq<const D: usize> {
     Delete(Vec<u32>),
 }
 
+/// A borrowed view of one write op, yielded by
+/// [`Request::write_ops`] in [`WriteHandle`] order — the shape codecs
+/// serialize without taking the request apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp<'a, const D: usize> {
+    /// An insert batch.
+    Insert(&'a [Point<D>]),
+    /// A delete batch by id.
+    Delete(&'a [u32]),
+}
+
 /// A composable multi-op request: build it up, submit it once.
 ///
 /// ```
@@ -205,6 +216,47 @@ impl<S: Semigroup, const D: usize> Request<S, D> {
     /// True when no ops have been added.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The counting queries, in [`CountHandle`] order.
+    ///
+    /// The read-side accessors exist for codecs — a network front-end
+    /// serializing a request op by op (`ddrs-net` does) walks them and
+    /// rebuilds an identical request at the far end with the builder
+    /// methods. Clients answering their own queries should keep using
+    /// handles.
+    pub fn count_queries(&self) -> &[Rect<D>] {
+        &self.counts
+    }
+
+    /// The aggregation queries, in [`AggregateHandle`] order.
+    pub fn aggregate_queries(&self) -> &[Rect<D>] {
+        &self.aggs
+    }
+
+    /// The report queries, in [`ReportHandle`] order.
+    pub fn report_queries(&self) -> &[Rect<D>] {
+        &self.reports
+    }
+
+    /// The write ops as borrowed [`WriteOp`] views, in [`WriteHandle`]
+    /// order.
+    pub fn write_ops(&self) -> impl Iterator<Item = WriteOp<'_, D>> {
+        self.writes.iter().map(|w| match w {
+            WriteReq::Insert(pts) => WriteOp::Insert(pts),
+            WriteReq::Delete(ids) => WriteOp::Delete(ids),
+        })
+    }
+
+    /// The queueing deadline set by [`deadline`](Request::deadline).
+    pub fn queue_deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The consistency bound set by
+    /// [`consistency`](Request::consistency).
+    pub fn read_consistency(&self) -> Consistency {
+        self.consistency
     }
 
     /// Lower the request into the per-op shape backends execute: the

@@ -144,3 +144,15 @@ pub trait RangeStore<S: Semigroup, const D: usize> {
         }))
     }
 }
+
+/// Shared ownership keeps the contract: an `Arc<T>` serves requests
+/// exactly as the `T` it wraps. This is what lets one backend be handed
+/// to a serving front-end (say, boxed into a
+/// `NetServer`) while the caller keeps a handle for stats and shutdown.
+impl<S: Semigroup, const D: usize, T: RangeStore<S, D> + ?Sized> RangeStore<S, D>
+    for std::sync::Arc<T>
+{
+    fn submit(&self, req: Request<S, D>) -> Result<Ticket<Response<S>>, SubmitError> {
+        (**self).submit(req)
+    }
+}

@@ -12,7 +12,12 @@
 //! * `Ticket<T>` implements [`std::future::Future`], waker-based and
 //!   with **no async runtime in the dependency tree** — an executor
 //!   polls it like any other future and is woken exactly once, when the
-//!   backend resolves the request.
+//!   backend resolves the request;
+//! * [`on_resolve`](Ticket::on_resolve) hands the outcome to a callback
+//!   on the resolving thread — the push-style shape serving front-ends
+//!   (the `ddrs-net` response writer, for one) use to fan many
+//!   concurrently in-flight tickets into one sink without a thread per
+//!   request.
 //!
 //! Tickets also compose: [`map`](Ticket::map) /
 //! [`map_outcome`](Ticket::map_outcome) project a ticket's value without
@@ -344,16 +349,21 @@ impl<T> Ticket<T> {
         }
     }
 
-    /// Deprecated pre-`Future` shape of [`wait_for`](Ticket::wait_for):
-    /// the nested `Result<Result<..>, Self>` made `?`-style use
-    /// unreadable. Behavior is unchanged — on timeout the ticket comes
-    /// back in the `Err` arm, still resolvable.
-    #[deprecated(since = "0.1.0", note = "use `wait_for`, which returns the `WaitFor` enum")]
-    pub fn wait_timeout(self, timeout: Duration) -> Result<Outcome<T>, Self> {
-        match self.wait_for(timeout) {
-            WaitFor::Ready(out) => Ok(out),
-            WaitFor::TimedOut(t) => Err(t),
-        }
+    /// Deliver this ticket's outcome to `f` the moment the backend
+    /// resolves it, without parking a thread per request.
+    ///
+    /// The ticket is polled once at registration — an already-resolved
+    /// ticket runs `f` synchronously on the calling thread — and
+    /// otherwise parked behind a waker; when the backend fires, `f`
+    /// runs on the resolving thread. Exactly-once either way, including
+    /// the [`ServiceError::ShuttingDown`] outcome of an abandoned
+    /// resolver. This is the hook network front-ends use to fan
+    /// out-of-order resolutions into a per-connection writer.
+    pub fn on_resolve(self, f: impl FnOnce(Outcome<T>) + Send + 'static)
+    where
+        T: Send + 'static,
+    {
+        Watch::arm(self, Box::new(f));
     }
 
     /// The trace span every lifecycle event of this request is recorded
@@ -397,6 +407,61 @@ impl<T> Ticket<T> {
         T: Send + 'static,
     {
         self.map_outcome(move |out| out.map(|c| Commit { value: f(c.value), seq: c.seq }))
+    }
+}
+
+type OnResolve<T> = Box<dyn FnOnce(Outcome<T>) + Send>;
+
+/// The engine behind [`Ticket::on_resolve`]: a self-waking cell that
+/// holds the parked ticket and its callback until the backend fires.
+///
+/// Built on [`std::task::Wake`], so it needs no async runtime: arming
+/// polls the ticket once (registering the watch as its waker), and the
+/// backend's `fire` wakes the watch, which re-polls and runs the
+/// callback with the outcome.
+struct Watch<T> {
+    /// Lock class `ticket.watch` — held while polling, so it nests
+    /// *outside* `ticket.state` and must stay ranked before it.
+    watch: TrackedMutex<Option<(Ticket<T>, OnResolve<T>)>>,
+}
+
+impl<T: Send + 'static> Watch<T> {
+    fn arm(ticket: Ticket<T>, f: OnResolve<T>) {
+        let watch = Arc::new(Watch { watch: TrackedMutex::new("ticket.watch", Some((ticket, f))) });
+        watch.poll_cell();
+    }
+
+    fn poll_cell(self: &Arc<Self>) {
+        let waker = std::task::Waker::from(Arc::clone(self));
+        let ready = {
+            let mut cell = self.watch.lock();
+            let Some((mut ticket, f)) = cell.take() else {
+                // A spurious second wake after delivery: nothing to do.
+                return;
+            };
+            match ticket.poll_take(&waker) {
+                Poll::Ready(out) => Some((f, out)),
+                Poll::Pending => {
+                    *cell = Some((ticket, f));
+                    None
+                }
+            }
+        };
+        // Run the callback outside the watch lock: it may take arbitrary
+        // downstream locks (a connection writer, say) of its own.
+        if let Some((f, out)) = ready {
+            f(out);
+        }
+    }
+}
+
+impl<T: Send + 'static> std::task::Wake for Watch<T> {
+    fn wake(self: Arc<Self>) {
+        self.poll_cell();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.poll_cell();
     }
 }
 
@@ -488,6 +553,54 @@ mod tests {
         });
         drop(r);
         assert_eq!(t.wait(), Ok(Commit { value: 0, seq: 0 }));
+    }
+
+    #[test]
+    fn on_resolve_fires_synchronously_when_already_done() {
+        let (t, r) = ticket::<u64>();
+        r.resolve(Ok(Commit { value: 11, seq: 4 }));
+        let hits = Arc::new(Mutex::new(Vec::new()));
+        let h = Arc::clone(&hits);
+        t.on_resolve(move |out| h.lock().unwrap().push(out));
+        assert_eq!(*hits.lock().unwrap(), vec![Ok(Commit { value: 11, seq: 4 })]);
+    }
+
+    #[test]
+    fn on_resolve_fires_from_the_resolving_thread() {
+        let (t, r) = ticket::<u64>();
+        let (tx, rx) = std::sync::mpsc::channel();
+        t.on_resolve(move |out| tx.send(out).unwrap());
+        assert!(rx.try_recv().is_err(), "callback must not fire before resolution");
+        let h = std::thread::spawn(move || r.resolve(Ok(Commit { value: 3, seq: 8 })));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(Commit { value: 3, seq: 8 })
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn on_resolve_sees_the_abandoned_resolver_outcome() {
+        let (t, r) = ticket::<u64>();
+        let (tx, rx) = std::sync::mpsc::channel();
+        t.on_resolve(move |out| tx.send(out).unwrap());
+        drop(r);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Err(ServiceError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn on_resolve_composes_with_map() {
+        let (t, r) = ticket::<u64>();
+        let (tx, rx) = std::sync::mpsc::channel();
+        t.map(|v| v * 10).on_resolve(move |out| tx.send(out).unwrap());
+        r.resolve(Ok(Commit { value: 7, seq: 2 }));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(Commit { value: 70, seq: 2 })
+        );
     }
 
     #[test]

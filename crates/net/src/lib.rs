@@ -1,0 +1,139 @@
+//! `ddrs-net` — the TCP network front-end for the range store.
+//!
+//! Everything below this crate speaks [`RangeStore`]: one `submit`
+//! taking a multi-op [`Request`](ddrs_client::Request) and returning a
+//! [`Ticket`](ddrs_client::Ticket). This crate carries that exact
+//! contract across a socket, dependency-free, on `std::net`:
+//!
+//! * [`codec`] — a hand-rolled, length-prefixed, CRC-framed binary
+//!   protocol (the same framing discipline as the WAL: decode never
+//!   trusts a length, never panics, never reads past a buffer);
+//! * [`NetServer`] — an accept loop plus a reader/writer thread pair
+//!   per connection, resolving responses **out of order** through
+//!   ticket callbacks and re-correlating them by request id, with
+//!   connection limits, read deadlines, and a graceful drain that
+//!   flushes every in-flight response before closing;
+//! * [`RemoteStore`] — a pooled, pipelining client that implements
+//!   [`RangeStore`] itself, so a served store is a drop-in backend:
+//!   the differential proptest runs over loopback unchanged, down to
+//!   absolute commit sequence numbers.
+//!
+//! # Tracing
+//!
+//! A networked request reports under **two spans**: the client-side
+//! ticket's span carries `encode` (request serialization), `transport`
+//! (socket round trip, measured send-to-receive), and `decode`
+//! (response deserialization); the server-side store ticket's span
+//! carries the usual queue/window/run/merge/resolve stages plus its
+//! own `decode` (request) and `encode` (response) bookends.
+//!
+//! # Lock discipline
+//!
+//! All shared state on both sides lives in `net.conn`-class
+//! [`TrackedMutex`](ddrs_check::TrackedMutex)es (the server's
+//! connection registry, the client's per-connection pending map and
+//! write half), ranked below the ticket locks in the canonical order
+//! and never held across a `submit` or a resolve.
+
+pub mod codec;
+
+mod client;
+mod server;
+mod stats;
+
+pub use client::{NetError, RemoteConfig, RemoteStore};
+pub use codec::{RefusedReason, WireValue};
+pub use server::{NetConfig, NetServer};
+pub use stats::NetStats;
+
+// Re-exported so examples and tests can name the contract without a
+// second import; `RangeStore` is the trait both sides implement against.
+pub use ddrs_client::RangeStore;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrs_cgm::Machine;
+    use ddrs_client::{InlineStore, Request};
+    use ddrs_rangetree::{DynamicDistRangeTree, Point, Rect, Sum};
+
+    fn inline_store() -> InlineStore<Sum, 2> {
+        let machine = Machine::new(1).unwrap();
+        let mut tree = DynamicDistRangeTree::<2>::new(8);
+        tree.insert_batch(
+            &machine,
+            &[Point::weighted([1, 1], 1, 10), Point::weighted([5, 5], 2, 20)],
+        )
+        .unwrap();
+        InlineStore::new(machine, tree, Sum)
+    }
+
+    #[test]
+    fn round_trip_over_loopback() {
+        let server =
+            NetServer::serve(Box::new(inline_store()), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+        let store: RemoteStore<Sum, 2> =
+            RemoteStore::connect(server.local_addr(), RemoteConfig::default()).unwrap();
+
+        let mut req = Request::new();
+        let w = req.insert(vec![Point::weighted([3, 3], 3, 5)]);
+        let c = req.count(Rect::new([0, 0], [10, 10]));
+        let a = req.aggregate(Rect::new([0, 0], [4, 4]));
+        let r = req.report(Rect::new([0, 0], [10, 10]));
+        let commit = store.submit(req).unwrap().wait().unwrap();
+        assert_eq!(commit.value.write(w), &Ok(()));
+        assert_eq!(commit.value.count(c), 3);
+        assert_eq!(commit.value.aggregate(a), &Some(15));
+        assert_eq!(commit.value.report(r), &[1, 2, 3]);
+
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 2); // default pool of 2 connections
+        assert_eq!(stats.requests, 1);
+        drop(store);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_resolve_out_of_order_safely() {
+        let server =
+            NetServer::serve(Box::new(inline_store()), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+        let store: RemoteStore<Sum, 2> =
+            RemoteStore::connect(server.local_addr(), RemoteConfig { connections: 1 }).unwrap();
+
+        let tickets: Vec<_> = (0..16)
+            .map(|i| {
+                let mut req = Request::new();
+                let c = req.count(Rect::new([0, 0], [10, 10]));
+                if i % 3 == 0 {
+                    req.insert(vec![Point::weighted([i, i], 100 + i as u32, 1)]);
+                }
+                (c, store.submit(req).unwrap())
+            })
+            .collect();
+        let mut last_seq = None;
+        for (c, t) in tickets {
+            let commit = t.wait().unwrap();
+            assert!(commit.value.count(c) >= 2);
+            if let Some(prev) = last_seq {
+                assert!(commit.seq > prev, "seqs advance in submit order on one connection");
+            }
+            last_seq = Some(commit.seq);
+        }
+        assert_eq!(store.inflight(), 0);
+        drop(store);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dimension_mismatch_is_refused_at_connect() {
+        let server =
+            NetServer::serve(Box::new(inline_store()), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+        let err = RemoteStore::<Sum, 3>::connect(server.local_addr(), RemoteConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, NetError::DimensionMismatch { server: 2, client: 3 }));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,87 @@
+//! Network-layer counters, published through the unified
+//! [`MetricsRegistry`](ddrs_trace::MetricsRegistry).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ddrs_trace::MetricsRegistry;
+
+/// Internal live counters. All accesses are `SeqCst`: these are cold
+/// bookkeeping paths, and the stricter ordering keeps the crate inside
+/// the workspace's no-Relaxed lint discipline.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub accepted: AtomicU64,
+    pub refused: AtomicU64,
+    pub active: AtomicU64,
+    pub requests: AtomicU64,
+    pub responses: AtomicU64,
+    pub responses_dropped: AtomicU64,
+    pub decode_errors: AtomicU64,
+    pub read_timeouts: AtomicU64,
+    pub submit_rejections: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn snapshot(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted.load(Ordering::SeqCst),
+            refused: self.refused.load(Ordering::SeqCst),
+            active: self.active.load(Ordering::SeqCst),
+            requests: self.requests.load(Ordering::SeqCst),
+            responses: self.responses.load(Ordering::SeqCst),
+            responses_dropped: self.responses_dropped.load(Ordering::SeqCst),
+            decode_errors: self.decode_errors.load(Ordering::SeqCst),
+            read_timeouts: self.read_timeouts.load(Ordering::SeqCst),
+            submit_rejections: self.submit_rejections.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`NetServer`](crate::NetServer)'s
+/// counters, taken with [`NetServer::stats`](crate::NetServer::stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Connections accepted and admitted (a Hello was sent).
+    pub accepted: u64,
+    /// Connections turned away with a typed [`Refused`
+    /// frame](crate::codec::RefusedReason) — over the connection limit,
+    /// or arriving during drain.
+    pub refused: u64,
+    /// Connections currently being served.
+    pub active: u64,
+    /// Request frames decoded and admitted into the store.
+    pub requests: u64,
+    /// Frames flushed to a connection's socket: responses, plus the
+    /// occasional terminal refusal frame.
+    pub responses: u64,
+    /// Response frames that never reached the wire — their client
+    /// disconnected with requests in flight.
+    pub responses_dropped: u64,
+    /// Byte streams terminated for a framing or decode violation.
+    pub decode_errors: u64,
+    /// Connections reaped by the read deadline.
+    pub read_timeouts: u64,
+    /// Requests the store's admission control rejected at submit.
+    pub submit_rejections: u64,
+}
+
+impl NetStats {
+    /// Publish this snapshot into `reg`, one metric per counter, named
+    /// `{prefix}.accepted`, `{prefix}.active`, and so on. `active` is
+    /// published as a gauge, everything else as counters.
+    pub fn register_into(&self, reg: &MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.accepted"), self.accepted);
+        reg.set_counter(&format!("{prefix}.refused"), self.refused);
+        reg.set_gauge(&format!("{prefix}.active"), self.active as f64);
+        reg.set_counter(&format!("{prefix}.requests"), self.requests);
+        reg.set_counter(&format!("{prefix}.responses"), self.responses);
+        reg.set_counter(&format!("{prefix}.responses_dropped"), self.responses_dropped);
+        reg.set_counter(&format!("{prefix}.decode_errors"), self.decode_errors);
+        reg.set_counter(&format!("{prefix}.read_timeouts"), self.read_timeouts);
+        reg.set_counter(&format!("{prefix}.submit_rejections"), self.submit_rejections);
+    }
+}

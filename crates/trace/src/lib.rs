@@ -112,12 +112,32 @@ pub enum Stage {
     /// Ticket resolution: waker/condvar signalling and callback
     /// delivery.
     Resolve,
+    /// Wire serialization of a request or response (`ddrs-net` codec).
+    /// Only networked requests pass through the three wire stages; for
+    /// in-process backends they simply never appear on a span.
+    Encode,
+    /// Bytes in flight: from the frame's write on one side until its
+    /// demultiplexed arrival on the other (includes kernel socket
+    /// queues and the peer's reader wakeup).
+    Transport,
+    /// Wire deserialization of a request or response.
+    Decode,
 }
 
 impl Stage {
-    /// All stages in lifecycle order.
-    pub const ALL: [Stage; 5] =
-        [Stage::Queue, Stage::Window, Stage::MachineRun, Stage::Merge, Stage::Resolve];
+    /// All stages in lifecycle order (the three wire stages trail the
+    /// five serving stages; they wrap the serving lifecycle on
+    /// networked requests).
+    pub const ALL: [Stage; 8] = [
+        Stage::Queue,
+        Stage::Window,
+        Stage::MachineRun,
+        Stage::Merge,
+        Stage::Resolve,
+        Stage::Encode,
+        Stage::Transport,
+        Stage::Decode,
+    ];
 
     /// Stable lowercase label (used by the exporters and bench JSON).
     pub fn name(self) -> &'static str {
@@ -127,6 +147,9 @@ impl Stage {
             Stage::MachineRun => "machine_run",
             Stage::Merge => "merge",
             Stage::Resolve => "resolve",
+            Stage::Encode => "encode",
+            Stage::Transport => "transport",
+            Stage::Decode => "decode",
         }
     }
 
@@ -138,6 +161,9 @@ impl Stage {
             Stage::MachineRun => 2,
             Stage::Merge => 3,
             Stage::Resolve => 4,
+            Stage::Encode => 5,
+            Stage::Transport => 6,
+            Stage::Decode => 7,
         }
     }
 }

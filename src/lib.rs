@@ -41,6 +41,15 @@
 //!   cross-shard read batches into per-shard fused sub-batches (≤ `S`
 //!   machine runs per window), routes writes by key, assigns one global
 //!   commit order, and rebalances skewed shards by subtree migration,
+//! * [`net`] — the TCP network front-end: a dependency-free
+//!   CRC-framed binary protocol over `std::net`, the
+//!   [`NetServer`](net::NetServer) connection fan-in (per-connection
+//!   reader/writer threads, out-of-order response correlation,
+//!   connection limits, graceful drain) and the pooled, pipelining
+//!   [`RemoteStore`](net::RemoteStore) client that implements
+//!   [`RangeStore`](client::RangeStore) itself — a served store is a
+//!   drop-in backend, pinned by the differential proptest running
+//!   over loopback unchanged,
 //! * [`wal`] — durability: the per-shard epoch write-ahead log
 //!   ([`EpochWal`](wal::EpochWal)) with length-prefixed checksummed
 //!   binary framing, pluggable in-memory / file-backed
@@ -75,6 +84,7 @@ pub use ddrs_cgm as cgm;
 pub use ddrs_check as check;
 pub use ddrs_client as client;
 pub use ddrs_engine as engine;
+pub use ddrs_net as net;
 pub use ddrs_rangetree as rangetree;
 pub use ddrs_sched as sched;
 pub use ddrs_service as service;
@@ -91,6 +101,7 @@ pub mod prelude {
     pub use ddrs_cgm::{Machine, RunStats, RunStatsRollup};
     pub use ddrs_client::{Consistency, InlineStore, RangeStore, Request, Response, WaitFor};
     pub use ddrs_engine::{BatchResults, QueryBatch};
+    pub use ddrs_net::{NetConfig, NetServer, NetStats, RemoteConfig, RemoteStore};
     pub use ddrs_rangetree::{
         Count, DistRangeTree, DynamicDistRangeTree, Point, Rect, SeqRangeTree, Sum,
     };

@@ -9,9 +9,7 @@
 //! * requests' writes commit before their reads (read-your-writes
 //!   within a request), write verdicts are per-op data;
 //! * `Consistency::AtLeast` gives read-your-writes sessions on every
-//!   backend and fails cleanly on bounds from the future;
-//! * the deprecated `wait_timeout` shim keeps its pinned behavior
-//!   (timeout hands the ticket back, still resolvable).
+//!   backend and fails cleanly on bounds from the future.
 
 use std::future::Future;
 use std::pin::Pin;
@@ -139,23 +137,6 @@ fn wait_for_times_out_and_hands_the_ticket_back() {
         panic!("resolved ticket must be ready");
     };
     assert_eq!(out, Ok(Commit { value: 9, seq: 0 }));
-}
-
-/// Regression pin for the deprecated shim: same behavior as `wait_for`,
-/// nested-`Result` shape — timeout returns the ticket in `Err`, and the
-/// ticket is still resolvable afterwards.
-#[test]
-#[allow(deprecated)]
-fn deprecated_wait_timeout_shim_keeps_its_contract() {
-    let (t, r) = ticket::<u64>();
-    let Err(t) = t.wait_timeout(Duration::from_millis(2)) else {
-        panic!("unresolved ticket must time out");
-    };
-    r.resolve(Ok(Commit { value: 3, seq: 7 }));
-    let Ok(out) = t.wait_timeout(Duration::from_secs(5)) else {
-        panic!("resolved ticket must be ready");
-    };
-    assert_eq!(out, Ok(Commit { value: 3, seq: 7 }));
 }
 
 // ---------------------------------------------------------------------

@@ -2,7 +2,7 @@
 //! written entirely against `Box<dyn RangeStore>`, proves
 //!
 //! ```text
-//!   InlineStore ≡ Service ≡ ShardedService ≡ sequential oracle
+//!   InlineStore ≡ Service ≡ ShardedService ≡ RemoteStore ≡ sequential oracle
 //! ```
 //!
 //! on the same mixed request stream — same values, same write verdicts,
@@ -10,14 +10,18 @@
 //! multi-op `Request`s (writes + fused reads in one unit), which the
 //! per-backend predecessor (`shard_vs_single`) could not express. The
 //! driver never names a concrete backend type: the trait object IS the
-//! test surface.
+//! test surface. The remote backends run the same driver **over a real
+//! TCP loopback connection** — encode, frame, decode, submit, resolve,
+//! encode, frame, decode — and must be bit-identical to the in-process
+//! stores, absolute seqs included.
 
 use std::collections::HashSet;
 use std::time::Duration;
 
 use proptest::prelude::*;
 
-use ddrs::client::Request;
+use ddrs::client::{Request, Ticket};
+use ddrs::net::{NetConfig, NetServer, RemoteConfig, RemoteStore};
 use ddrs::prelude::*;
 use ddrs::rangetree::BuildError;
 use ddrs::service::ServiceError;
@@ -92,6 +96,27 @@ impl Oracle {
     }
 }
 
+/// A served store plus the client that reaches it over loopback; keeps
+/// the server alive for the store's lifetime. Declared client-first so
+/// the pool closes before the server drains.
+struct RemoteBackend {
+    client: RemoteStore<Sum, 2>,
+    _server: NetServer<Sum, 2>,
+}
+
+impl RangeStore<Sum, 2> for RemoteBackend {
+    fn submit(&self, req: Request<Sum, 2>) -> Result<Ticket<Response<Sum>>, SubmitError> {
+        self.client.submit(req)
+    }
+}
+
+/// Serve `store` on an ephemeral loopback port and connect a client.
+fn remote(store: Box<dyn RangeStore<Sum, 2> + Send + Sync>) -> RemoteBackend {
+    let server = NetServer::serve(store, "127.0.0.1:0", NetConfig::default()).unwrap();
+    let client = RemoteStore::connect(server.local_addr(), RemoteConfig::default()).unwrap();
+    RemoteBackend { client, _server: server }
+}
+
 /// Every backend, behind the one trait the test drives.
 fn backends(
     p: usize,
@@ -151,11 +176,46 @@ fn backends(
     )
     .unwrap();
 
+    let machine = Machine::new(p).unwrap();
+    let mut tree = DynamicDistRangeTree::<2>::new(8);
+    if !initial.is_empty() {
+        tree.insert_batch(&machine, initial).unwrap();
+    }
+    let remote_service = remote(Box::new(Service::start(
+        machine,
+        tree,
+        Sum,
+        ServiceConfig {
+            max_batch: 16,
+            max_delay: Duration::from_micros(100),
+            ..Default::default()
+        },
+    )));
+
+    let machines: Vec<Machine> = (0..s).map(|_| Machine::new(p).unwrap()).collect();
+    let remote_sharded = remote(Box::new(
+        ShardedService::start(
+            machines,
+            8,
+            initial,
+            Sum,
+            PartitionPolicy::Hash,
+            ShardedConfig {
+                max_batch: 16,
+                max_delay: Duration::from_micros(100),
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    ));
+
     vec![
         ("inline", Box::new(inline)),
         ("service", Box::new(service)),
         ("sharded-range", Box::new(sharded_range)),
         ("sharded-hash", Box::new(sharded_hash)),
+        ("remote-service", Box::new(remote_service)),
+        ("remote-sharded", Box::new(remote_sharded)),
     ]
 }
 
